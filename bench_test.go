@@ -1,0 +1,198 @@
+// Top-level benchmarks: one testing.B target per experiment in DESIGN.md's
+// index (cmd/ppdbench prints the same results as formatted tables).
+//
+//	go test -bench=. -benchmem
+package ppd
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppd/internal/bitset"
+	"ppd/internal/compile"
+	"ppd/internal/eblock"
+	"ppd/internal/emulation"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/replay"
+	"ppd/internal/vm"
+	"ppd/internal/workloads"
+)
+
+func mustCompile(b *testing.B, w *workloads.Workload, cfg eblock.Config) *compile.Artifacts {
+	b.Helper()
+	art, err := compile.CompileSource(w.Name, w.Src, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+func mustCompileBare(b *testing.B, w *workloads.Workload) *compile.Artifacts {
+	b.Helper()
+	art, err := compile.CompileBareSource(w.Name, w.Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+func runVM(b *testing.B, art *compile.Artifacts, mode vm.Mode) *vm.VM {
+	b.Helper()
+	v := vm.New(art.Prog, vm.Options{Mode: mode, Quantum: 1000})
+	if err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// --- E1: execution-time overhead of incremental logging -------------------
+
+func benchOverhead(b *testing.B, w *workloads.Workload) {
+	bare := mustCompileBare(b, w)
+	inst := mustCompile(b, w, eblock.DefaultConfig())
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runVM(b, bare, vm.ModeRun)
+		}
+	})
+	b.Run("logged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runVM(b, inst, vm.ModeLog)
+		}
+	})
+	b.Run("fulltrace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runVM(b, inst, vm.ModeFullTrace)
+		}
+	})
+}
+
+func BenchmarkOverheadMatmul(b *testing.B)    { benchOverhead(b, workloads.Matmul(16)) }
+func BenchmarkOverheadProdCons(b *testing.B)  { benchOverhead(b, workloads.ProdCons(600)) }
+func BenchmarkOverheadTokenRing(b *testing.B) { benchOverhead(b, workloads.TokenRing(4, 100)) }
+func BenchmarkOverheadDivide(b *testing.B)    { benchOverhead(b, workloads.Divide(11)) }
+
+// --- E3: debugging-phase latency — emulate one interval -------------------
+
+func BenchmarkEmulateEBlock(b *testing.B) {
+	w := workloads.Divide(11)
+	art := mustCompile(b, w, eblock.DefaultConfig())
+	v := runVM(b, art, vm.ModeLog)
+	em := emulation.New(art.Prog, v.Log.Books[0])
+	idx := em.LastPrelog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Emulate(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: e-block granularity sweep -----------------------------------------
+
+func BenchmarkEBlockGranularity(b *testing.B) {
+	w := workloads.Matmul(16)
+	for _, cfg := range []struct {
+		name string
+		c    eblock.Config
+	}{
+		{"func-only", eblock.Config{}},
+		{"inline3", eblock.Config{LeafInlineThreshold: 3}},
+		{"default", eblock.DefaultConfig()},
+	} {
+		art := mustCompile(b, w, cfg.c)
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runVM(b, art, vm.ModeLog)
+			}
+		})
+	}
+}
+
+// --- E8: race-detector scaling ---------------------------------------------
+
+func benchRaceDetector(b *testing.B, detect func(*parallel.Graph) []*race.Race) {
+	w := workloads.Sharded(8, 80)
+	art := mustCompile(b, w, eblock.Config{})
+	v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+	if err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	g := parallel.Build(v.Log, len(art.Prog.Globals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := detect(g); len(rs) != 0 {
+			b.Fatalf("sharded workload should be race-free, got %d", len(rs))
+		}
+	}
+}
+
+func BenchmarkRaceNaive(b *testing.B)  { benchRaceDetector(b, race.Naive) }
+func BenchmarkRacePruned(b *testing.B) { benchRaceDetector(b, race.Indexed) }
+
+// --- E9: bit-mask vs. list set representation -------------------------------
+
+func BenchmarkBitsetVsListSets(b *testing.B) {
+	const universe = 512
+	rng := rand.New(rand.NewSource(1))
+	elems := make([]int, 96)
+	for i := range elems {
+		elems[i] = rng.Intn(universe)
+	}
+	bs1 := bitset.FromSlice(universe, elems[:48])
+	bs2 := bitset.FromSlice(universe, elems[48:])
+	ls1 := bitset.ListFromSlice(elems[:48])
+	ls2 := bitset.ListFromSlice(elems[48:])
+	b.Run("bitset-intersects", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bs1.Intersects(bs2)
+		}
+	})
+	b.Run("list-intersects", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ls1.Intersects(ls2)
+		}
+	})
+	b.Run("bitset-union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			z := bs1.Clone()
+			z.UnionWith(bs2)
+		}
+	})
+	b.Run("list-union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			z := ls1.Clone()
+			z.UnionWith(ls2)
+		}
+	})
+}
+
+// --- E10: state restoration ---------------------------------------------------
+
+func BenchmarkRestore(b *testing.B) {
+	w := workloads.Divide(11)
+	art := mustCompile(b, w, eblock.DefaultConfig())
+	v := runVM(b, art, vm.ModeLog)
+	book := v.Log.Books[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay.RestoreAt(art.Prog, book, len(book.Records))
+	}
+}
+
+// --- E2 is a size, not a time: assert the shape as a benchmark-guarded test ---
+
+func BenchmarkLogVsTraceSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.Standard() {
+			art := mustCompile(b, w, eblock.DefaultConfig())
+			vLog := runVM(b, art, vm.ModeLog)
+			vTr := runVM(b, art, vm.ModeFullTrace)
+			if vLog.Log.SizeBytes() >= vTr.Trace.SizeBytes() {
+				b.Fatalf("%s: log (%d B) not smaller than trace (%d B)",
+					w.Name, vLog.Log.SizeBytes(), vTr.Trace.SizeBytes())
+			}
+		}
+	}
+}

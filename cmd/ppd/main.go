@@ -1,0 +1,234 @@
+// Command ppd is the Parallel Program Debugger driver. It exposes the
+// paper's three phases as subcommands:
+//
+//	ppd compile prog.mpl            preparatory phase: report the artifacts
+//	ppd dump prog.mpl               program database, e-block plan, bytecode
+//	ppd run prog.mpl [flags]        execution phase (optionally logged)
+//	ppd debug prog.mpl [flags]      run logged, then interactive flowback
+//	ppd races prog.mpl [flags]      run logged, then race detection
+//
+// Example:
+//
+//	ppd debug examples/flowback/bug.mpl
+//	ppd races testdata/racy.mpl -sweep 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppd/internal/ast"
+	"ppd/internal/compile"
+	"ppd/internal/controller"
+	"ppd/internal/debugger"
+	"ppd/internal/eblock"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/source"
+	"ppd/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = cmdCompile(args)
+	case "dump":
+		err = cmdDump(args)
+	case "run":
+		err = cmdRun(args)
+	case "debug":
+		err = cmdDebug(args)
+	case "races":
+		err = cmdRaces(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ppd: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ppd <command> [flags] file.mpl
+commands:
+  compile   run the preparatory phase and summarize its artifacts
+  dump      print the program database, e-block plan, and bytecode
+  run       execute the program (flags: -seed -quantum -mode run|log|trace)
+  debug     execute logged, then start the interactive flowback debugger
+  races     execute logged, then detect races (flags: -seed -sweep N)
+`)
+}
+
+func loadFile(path string) (*source.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return source.NewFile(path, string(data)), nil
+}
+
+func compileFile(path string) (*compile.Artifacts, error) {
+	f, err := loadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(f, eblock.DefaultConfig())
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compile: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled %s:\n", fs.Arg(0))
+	fmt.Printf("  functions: %d, globals: %d, instructions: %d\n",
+		len(art.Prog.Funcs), len(art.Prog.Globals), art.Prog.NumInstrs())
+	fmt.Printf("  e-blocks: %d (%d inlined function(s))\n",
+		len(art.Plan.Blocks), len(art.Plan.Inlined))
+	units := 0
+	for _, f := range art.Prog.Funcs {
+		units += len(f.Units)
+	}
+	fmt.Printf("  shared-prelog sites: %d\n", units)
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	code := fs.Bool("code", false, "include bytecode disassembly")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(art.DB.Dump())
+	if *code {
+		fmt.Print(art.Prog.Disasm())
+	}
+	return nil
+}
+
+func vmFlags(fs *flag.FlagSet) (seed *int64, quantum *int) {
+	seed = fs.Int64("seed", 0, "scheduler seed (0 = round-robin)")
+	quantum = fs.Int("quantum", 40, "instructions per scheduling slice")
+	return
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed, quantum := vmFlags(fs)
+	mode := fs.String("mode", "run", "execution mode: run, log, or trace")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var m vm.Mode
+	switch *mode {
+	case "run":
+		m = vm.ModeRun
+	case "log":
+		m = vm.ModeLog
+	case "trace":
+		m = vm.ModeFullTrace
+	default:
+		return fmt.Errorf("run: unknown mode %q", *mode)
+	}
+	v := vm.New(art.Prog, vm.Options{Mode: m, Seed: *seed, Quantum: *quantum, Output: os.Stdout})
+	rerr := v.Run()
+	if m == vm.ModeLog {
+		fmt.Fprintf(os.Stderr, "[log: %d process(es), %d bytes]\n",
+			v.Log.NumProcs(), v.Log.SizeBytes())
+	}
+	if m == vm.ModeFullTrace {
+		fmt.Fprintf(os.Stderr, "[trace: %d bytes]\n", v.Trace.SizeBytes())
+	}
+	if rerr != nil {
+		return rerr
+	}
+	return nil
+}
+
+func cmdDebug(args []string) error {
+	fs := flag.NewFlagSet("debug", flag.ExitOnError)
+	seed, quantum := vmFlags(fs)
+	breakAt := fs.Int("break", 0, "halt all processes at statement sN (see `ppd dump`)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("debug: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	v := vm.New(art.Prog, vm.Options{
+		Mode: vm.ModeLog, Seed: *seed, Quantum: *quantum, Output: os.Stdout,
+		BreakAt: ast.StmtID(*breakAt),
+	})
+	if rerr := v.Run(); rerr != nil {
+		fmt.Fprintf(os.Stderr, "[execution halted: %v]\n", rerr)
+	}
+	if v.BreakHit {
+		fmt.Fprintf(os.Stderr, "[halted at breakpoint s%d]\n", *breakAt)
+	}
+	sess, err := debugger.New(controller.FromRun(art, v))
+	if err != nil {
+		return err
+	}
+	return sess.Run(os.Stdin, os.Stdout)
+}
+
+func cmdRaces(args []string) error {
+	fs := flag.NewFlagSet("races", flag.ExitOnError)
+	seed, quantum := vmFlags(fs)
+	sweep := fs.Int("sweep", 1, "number of scheduler seeds to try")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("races: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	anyRace := false
+	for s := int64(0); s < int64(*sweep); s++ {
+		v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Seed: *seed + s, Quantum: *quantum})
+		if rerr := v.Run(); rerr != nil {
+			fmt.Printf("seed %d: execution halted: %v\n", *seed+s, rerr)
+		}
+		g := parallel.Build(v.Log, len(art.Prog.Globals))
+		races := race.Indexed(g)
+		if len(races) > 0 {
+			anyRace = true
+		}
+		fmt.Printf("seed %d: %s", *seed+s,
+			race.Report(races, func(gid int) string { return art.Prog.Globals[gid].Name }))
+	}
+	if anyRace {
+		os.Exit(1)
+	}
+	return nil
+}

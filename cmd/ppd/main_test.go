@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// withStdout captures os.Stdout while f runs (the subcommands write there).
+func withStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	defer func() {
+		w.Close()
+		os.Stdout = old
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mpl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdCompile(t *testing.T) {
+	path := writeProgram(t, `func main() { print(1); }`)
+	out := withStdout(t, func() {
+		if err := cmdCompile([]string{path}); err != nil {
+			t.Errorf("compile: %v", err)
+		}
+	})
+	for _, want := range []string{"compiled", "functions: 1", "e-blocks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdCompile([]string{"/nonexistent.mpl"}); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if err := cmdCompile(nil); err == nil {
+		t.Error("expected usage error")
+	}
+}
+
+func TestCmdRunModes(t *testing.T) {
+	path := writeProgram(t, `func main() { print(6 * 7); }`)
+	for _, mode := range []string{"run", "log", "trace"} {
+		out := withStdout(t, func() {
+			if err := cmdRun([]string{"-mode", mode, path}); err != nil {
+				t.Errorf("mode %s: %v", mode, err)
+			}
+		})
+		if !strings.Contains(out, "42") {
+			t.Errorf("mode %s: output %q", mode, out)
+		}
+	}
+	if err := cmdRun([]string{"-mode", "bogus", path}); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+	crash := writeProgram(t, `func main() { print(1 / 0); }`)
+	if err := cmdRun([]string{crash}); err == nil {
+		t.Error("expected runtime error to propagate")
+	}
+}
+
+func TestCmdDump(t *testing.T) {
+	path := writeProgram(t, `
+var g = 2;
+func f(a int) int { return a + g; }
+func main() { print(f(1)); }`)
+	out := withStdout(t, func() {
+		if err := cmdDump([]string{"-code", path}); err != nil {
+			t.Errorf("dump: %v", err)
+		}
+	})
+	for _, want := range []string{"program database", "USED=", "func f", "loadg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestCmdDebugScripted(t *testing.T) {
+	path := writeProgram(t, `
+var d = 5;
+func main() {
+	var x = 10 / (d - 5);
+	print(x);
+}`)
+	oldIn := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	go func() {
+		io.WriteString(w, "summary\ngraph 3\nwhatif d=6\nquit\n")
+		w.Close()
+	}()
+	defer func() { os.Stdin = oldIn }()
+
+	out := withStdout(t, func() {
+		if err := cmdDebug([]string{path}); err != nil {
+			t.Errorf("debug: %v", err)
+		}
+	})
+	for _, want := range []string{"division by zero", "(ppd)", "DISAPPEARS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("debug session missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := loadFile("/no/such/file.mpl"); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := compileFile(writeProgram(t, `func main() { x = ; }`)); err == nil {
+		t.Error("expected compile error")
+	}
+}

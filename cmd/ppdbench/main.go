@@ -1,0 +1,383 @@
+// Command ppdbench regenerates the paper's quantitative results (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for the mapping):
+//
+//	ppdbench overhead     E1  execution-time overhead of logging (§7: <15%)
+//	ppdbench logsize      E2  log size vs. full trace size
+//	ppdbench debugcost    E3  emulate one e-block vs. re-run the program
+//	ppdbench eblocksweep  E4  e-block granularity tradeoff (§5.4)
+//	ppdbench racescale    E8  naive vs. indexed race detection scaling
+//	ppdbench setrep       E9  bit-mask vs. list set representation (§7)
+//	ppdbench restore      E10 state restoration vs. re-execution (§5.7)
+//	ppdbench races        E7  race detection on racy/race-free programs
+//	ppdbench all          everything
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ppd/internal/bitset"
+	"ppd/internal/compile"
+	"ppd/internal/eblock"
+	"ppd/internal/emulation"
+	"ppd/internal/logging"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/replay"
+	"ppd/internal/source"
+	"ppd/internal/vm"
+	"ppd/internal/workloads"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	out := os.Stdout
+	run := func(name string, f func(io.Writer)) {
+		if which == "all" || which == name {
+			f(out)
+			fmt.Fprintln(out)
+		}
+	}
+	run("overhead", overhead)
+	run("logsize", logsize)
+	run("debugcost", debugcost)
+	run("eblocksweep", eblocksweep)
+	run("racescale", racescale)
+	run("setrep", setrep)
+	run("restore", restoreBench)
+	run("races", racesBench)
+	run("shprelog", shprelogAblation)
+}
+
+// timeRun executes the program under the given mode and returns the best-
+// of-n wall time. A large quantum keeps scheduling decisions identical
+// across instrumentation variants (markers would otherwise shift quantum
+// boundaries and change the interleaving of sync-bound programs).
+func timeRun(prog *compile.Artifacts, mode vm.Mode, reps int) time.Duration {
+	// One untimed warmup settles allocator and branch-predictor state so
+	// the first-measured variant is not penalized.
+	if err := vm.New(prog.Prog, vm.Options{Mode: mode, Quantum: 1000}).Run(); err != nil {
+		panic(err)
+	}
+	best := time.Duration(1 << 62)
+	for i := 0; i < reps; i++ {
+		v := vm.New(prog.Prog, vm.Options{Mode: mode, Quantum: 1000})
+		start := time.Now()
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+const reps = 5
+
+func overhead(w io.Writer) {
+	fmt.Fprintln(w, "=== E1: execution-time overhead (paper §7: logging added <15%) ===")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %9s %9s\n",
+		"workload", "bare", "logged", "fulltrace", "log-ovh", "trace-ovh")
+	for _, wl := range workloads.Standard() {
+		bare, err := compile.CompileBareSource(wl.Name, wl.Src)
+		if err != nil {
+			panic(err)
+		}
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		tBare := timeRun(bare, vm.ModeRun, reps)
+		tLog := timeRun(inst, vm.ModeLog, reps)
+		tTrace := timeRun(inst, vm.ModeFullTrace, reps)
+		fmt.Fprintf(w, "%-10s %12v %12v %12v %8.1f%% %8.1f%%\n",
+			wl.Name, tBare, tLog, tTrace,
+			100*float64(tLog-tBare)/float64(tBare),
+			100*float64(tTrace-tBare)/float64(tBare))
+	}
+}
+
+func logsize(w io.Writer) {
+	fmt.Fprintln(w, "=== E2: log size vs. full trace size (motivation for incremental tracing) ===")
+	fmt.Fprintf(w, "%-10s %12s %14s %8s\n", "workload", "log-bytes", "trace-bytes", "ratio")
+	for _, wl := range workloads.Standard() {
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		vLog := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+		if err := vLog.Run(); err != nil {
+			panic(err)
+		}
+		vTr := vm.New(inst.Prog, vm.Options{Mode: vm.ModeFullTrace, Quantum: 5})
+		if err := vTr.Run(); err != nil {
+			panic(err)
+		}
+		ls, ts := vLog.Log.SizeBytes(), vTr.Trace.SizeBytes()
+		fmt.Fprintf(w, "%-10s %12d %14d %7.1fx\n", wl.Name, ls, ts, float64(ts)/float64(ls))
+	}
+}
+
+func debugcost(w io.Writer) {
+	fmt.Fprintln(w, "=== E3: debugging-phase cost — emulate one interval vs. re-execute (§5.1-§5.3) ===")
+	fmt.Fprintf(w, "%-10s %14s %14s %9s %10s\n",
+		"workload", "emulate-1blk", "full-rerun", "speedup", "intervals")
+	for _, wl := range workloads.Standard() {
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		em := emulation.New(inst.Prog, v.Log.Books[0])
+		idx := em.LastPrelog()
+		intervals := 0
+		for _, b := range v.Log.Books {
+			for _, r := range b.Records {
+				if r.Kind == logging.RecPrelog {
+					intervals++
+				}
+			}
+		}
+		best := time.Duration(1 << 62)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := em.Emulate(idx); err != nil {
+				panic(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		rerun := timeRun(inst, vm.ModeFullTrace, reps)
+		fmt.Fprintf(w, "%-10s %14v %14v %8.1fx %10d\n",
+			wl.Name, best, rerun, float64(rerun)/float64(best), intervals)
+	}
+}
+
+func eblocksweep(w io.Writer) {
+	fmt.Fprintln(w, "=== E4: e-block sizing tradeoff (§5.4): execution overhead vs. debug latency ===")
+	wl := workloads.Matmul(16)
+	bare, err := compile.CompileBareSource(wl.Name, wl.Src)
+	if err != nil {
+		panic(err)
+	}
+	tBare := timeRun(bare, vm.ModeRun, reps)
+	fmt.Fprintf(w, "%-26s %9s %9s %12s %14s\n",
+		"config", "blocks", "records", "exec-ovh", "focus-emulate")
+	configs := []struct {
+		name string
+		cfg  eblock.Config
+	}{
+		{"func-blocks-only", eblock.Config{}},
+		{"inline-leaves<=3", eblock.Config{LeafInlineThreshold: 3}},
+		{"inline-leaves<=8", eblock.Config{LeafInlineThreshold: 8}},
+		{"loops>=4", eblock.Config{LoopBlockMinStmts: 4}},
+		{"default(inline8,loops8)", eblock.DefaultConfig()},
+	}
+	for _, c := range configs {
+		inst, err := compile.CompileSource(wl.Name, wl.Src, c.cfg)
+		if err != nil {
+			panic(err)
+		}
+		tLog := timeRun(inst, vm.ModeLog, reps)
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		records := 0
+		for _, b := range v.Log.Books {
+			records += b.Len()
+		}
+		em := emulation.New(inst.Prog, v.Log.Books[0])
+		idx := em.FindLastOpenPrelog()
+		if idx < 0 {
+			idx = em.PrelogIndices(findMainBlock(inst))[0]
+		}
+		best := time.Duration(1 << 62)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := em.Emulate(idx); err != nil {
+				panic(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		fmt.Fprintf(w, "%-26s %9d %9d %11.1f%% %14v\n",
+			c.name, len(inst.Plan.Blocks), records,
+			100*float64(tLog-tBare)/float64(tBare), best)
+	}
+}
+
+func findMainBlock(art *compile.Artifacts) int {
+	return int(art.Plan.ByFunc["main"].ID)
+}
+
+func racescale(w io.Writer) {
+	fmt.Fprintln(w, "=== E8: race-detector scaling — naive all-pairs vs. variable-indexed (§7 open problem) ===")
+	fmt.Fprintf(w, "%-22s %8s %12s %12s %9s\n", "workload", "edges", "naive", "indexed", "speedup")
+	for _, shape := range []struct{ workers, rounds int }{
+		{2, 10}, {4, 40}, {8, 80}, {8, 200},
+	} {
+		wl := workloads.Sharded(shape.workers, shape.rounds)
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		g := parallel.Build(v.Log, len(inst.Prog.Globals))
+		tN := bestOf(3, func() { race.Naive(g) })
+		tI := bestOf(3, func() { race.Indexed(g) })
+		fmt.Fprintf(w, "%d-workers×%-10d %8d %12v %12v %8.1fx\n",
+			shape.workers, shape.rounds, len(g.Edges), tN, tI, float64(tN)/float64(tI))
+	}
+}
+
+func bestOf(n int, f func()) time.Duration {
+	best := time.Duration(1 << 62)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func setrep(w io.Writer) {
+	fmt.Fprintln(w, "=== E9: bit-mask vs. list sets (§7: 'can have a large payoff') ===")
+	fmt.Fprintf(w, "%-22s %12s %12s %9s\n", "operation", "bitset", "list", "speedup")
+	const universe = 512
+	rng := rand.New(rand.NewSource(1))
+	elems := make([]int, 96)
+	for i := range elems {
+		elems[i] = rng.Intn(universe)
+	}
+	bs1 := bitset.FromSlice(universe, elems[:48])
+	bs2 := bitset.FromSlice(universe, elems[48:])
+	ls1 := bitset.ListFromSlice(elems[:48])
+	ls2 := bitset.ListFromSlice(elems[48:])
+
+	const iters = 200000
+	measure := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+	tb := measure(func() { _ = bs1.Intersects(bs2) })
+	tl := measure(func() { _ = ls1.Intersects(ls2) })
+	fmt.Fprintf(w, "%-22s %12v %12v %8.1fx\n", "intersects×200k", tb, tl, float64(tl)/float64(tb))
+	tb = measure(func() { z := bs1.Clone(); z.UnionWith(bs2) })
+	tl = measure(func() { z := ls1.Clone(); z.UnionWith(ls2) })
+	fmt.Fprintf(w, "%-22s %12v %12v %8.1fx\n", "clone+union×200k", tb, tl, float64(tl)/float64(tb))
+}
+
+func restoreBench(w io.Writer) {
+	fmt.Fprintln(w, "=== E10: state restoration from postlogs vs. re-execution (§5.7) ===")
+	wl := workloads.Divide(10)
+	inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+	if err := v.Run(); err != nil {
+		panic(err)
+	}
+	book := v.Log.Books[0]
+	nPost := 0
+	for _, r := range book.Records {
+		if r.Kind == logging.RecPostlog {
+			nPost++
+		}
+	}
+	rerun := timeRun(inst, vm.ModeRun, reps)
+	fmt.Fprintf(w, "%-18s %12s   (re-execution from start: %v)\n", "restore point", "restore", rerun)
+	for _, frac := range []int{1, 2, 4} {
+		k := nPost / frac
+		if k == 0 {
+			k = 1
+		}
+		best := bestOf(reps, func() {
+			if _, err := replay.RestoreAtPostlog(inst.Prog, book, k-1); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Fprintf(w, "postlog %5d/%-5d %12v\n", k, nPost, best)
+	}
+}
+
+// shprelogAblation quantifies the cross-write filtering of §5.5's shared
+// prelogs: a literal implementation logs every shared read at every sync
+// unit; the filter logs only variables other processes may write.
+func shprelogAblation(w io.Writer) {
+	fmt.Fprintln(w, "=== E12 (ablation): shared-prelog cross-write filtering ===")
+	fmt.Fprintf(w, "%-12s %14s %14s %12s %12s\n",
+		"workload", "log(filtered)", "log(literal)", "t(filtered)", "t(literal)")
+	for _, wl := range []*struct {
+		name string
+		src  string
+	}{
+		{"matmul", workloads.Matmul(16).Src},
+		{"tokenring", workloads.TokenRing(4, 100).Src},
+		{"prodcons", workloads.ProdCons(600).Src},
+	} {
+		f := wl.src
+		filtered, err := compile.CompileSource(wl.name, f, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		literal, err := compile.CompileUnfiltered(sourceFile(wl.name, f), eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		vF := vm.New(filtered.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000})
+		if err := vF.Run(); err != nil {
+			panic(err)
+		}
+		vL := vm.New(literal.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000})
+		if err := vL.Run(); err != nil {
+			panic(err)
+		}
+		tF := timeRun(filtered, vm.ModeLog, reps)
+		tL := timeRun(literal, vm.ModeLog, reps)
+		fmt.Fprintf(w, "%-12s %13dB %13dB %12v %12v\n",
+			wl.name, vF.Log.SizeBytes(), vL.Log.SizeBytes(), tF, tL)
+	}
+}
+
+func sourceFile(name, src string) *source.File { return source.NewFile(name, src) }
+
+func racesBench(w io.Writer) {
+	fmt.Fprintln(w, "=== E7: race detection correctness (Defs 6.1-6.4) ===")
+	fmt.Fprintf(w, "%-14s %10s %8s\n", "program", "edges", "races")
+	for _, protect := range []bool{true, false} {
+		wl := workloads.RacyCounter(4, 20, protect)
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		g := parallel.Build(v.Log, len(inst.Prog.Globals))
+		rs := race.Indexed(g)
+		fmt.Fprintf(w, "%-14s %10d %8d\n", wl.Name, len(g.Edges), len(rs))
+	}
+}

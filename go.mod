@@ -1,0 +1,3 @@
+module ppd
+
+go 1.23

@@ -1,0 +1,261 @@
+package ast_test
+
+import (
+	"testing"
+
+	"ppd/internal/ast"
+	"ppd/internal/parser"
+	"ppd/internal/source"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	errs := &source.ErrorList{}
+	prog := parser.ParseString("t.mpl", src, errs)
+	if errs.ErrCount() != 0 {
+		t.Fatalf("parse: %v", errs.Err())
+	}
+	return prog
+}
+
+func TestInspectVisitsEveryNodeKind(t *testing.T) {
+	prog := parse(t, `
+var g = 1;
+shared arr[3];
+sem s;
+chan c;
+func f(a int, b bool) int {
+	var x = a + 1;
+	if (b) { x = -x; } else { x = x * 2; }
+	while (x > 0) { x = x - 1; }
+	for (var i = 0; i < 2; i = i + 1) { arr[i] = i; }
+	var z = arr[0] + arr[1];
+	P(s);
+	V(s);
+	send(c, x);
+	var y = recv(c);
+	print("y=", y);
+	if (x == 0) { return y; }
+	return 0;
+}
+func w() { }
+func main() {
+	spawn w();
+	var r = f(1, true);
+}`)
+	kinds := map[string]bool{}
+	ast.Inspect(prog, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident:
+			kinds["ident"] = true
+		case *ast.IntLit:
+			kinds["int"] = true
+		case *ast.BoolLit:
+			kinds["bool"] = true
+		case *ast.StringLit:
+			kinds["string"] = true
+		case *ast.UnaryExpr:
+			kinds["unary"] = true
+		case *ast.BinaryExpr:
+			kinds["binary"] = true
+		case *ast.IndexExpr:
+			kinds["index"] = true
+		case *ast.CallExpr:
+			kinds["call"] = true
+		case *ast.RecvExpr:
+			kinds["recv"] = true
+		case *ast.VarDeclStmt:
+			kinds["vardecl"] = true
+		case *ast.AssignStmt:
+			kinds["assign"] = true
+		case *ast.IfStmt:
+			kinds["if"] = true
+		case *ast.WhileStmt:
+			kinds["while"] = true
+		case *ast.ForStmt:
+			kinds["for"] = true
+		case *ast.ReturnStmt:
+			kinds["return"] = true
+		case *ast.SpawnStmt:
+			kinds["spawn"] = true
+		case *ast.SemStmt:
+			kinds["sem"] = true
+		case *ast.SendStmt:
+			kinds["send"] = true
+		case *ast.PrintStmt:
+			kinds["print"] = true
+		case *ast.FuncDecl:
+			kinds["func"] = true
+		case *ast.GlobalDecl:
+			kinds["global"] = true
+		}
+		return true
+	})
+	for _, want := range []string{
+		"ident", "int", "bool", "string", "unary", "binary", "index", "call",
+		"recv", "vardecl", "assign", "if", "while", "for", "return", "spawn",
+		"sem", "send", "print", "func", "global",
+	} {
+		if !kinds[want] {
+			t.Errorf("Inspect never visited %q", want)
+		}
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	prog := parse(t, `
+func main() {
+	if (1 < 2) {
+		var inner = 1;
+	}
+}`)
+	sawInner := false
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IfStmt); ok {
+			return false // prune: skip children
+		}
+		if v, ok := n.(*ast.VarDeclStmt); ok && v.Name.Name == "inner" {
+			sawInner = true
+		}
+		return true
+	})
+	if sawInner {
+		t.Error("pruned subtree was visited")
+	}
+}
+
+func TestStmtsExcludesBlocks(t *testing.T) {
+	prog := parse(t, `
+func main() {
+	var a = 1;
+	if (a > 0) { a = 2; a = 3; }
+}`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	if len(stmts) != 4 { // var, if, a=2, a=3
+		t.Fatalf("stmts = %d, want 4", len(stmts))
+	}
+	for _, s := range stmts {
+		if _, ok := s.(*ast.BlockStmt); ok {
+			t.Error("Stmts must exclude BlockStmt wrappers")
+		}
+	}
+}
+
+func TestPositionsNonDecreasing(t *testing.T) {
+	prog := parse(t, `
+func f(a int) int { return a; }
+func main() {
+	var x = f(2);
+	print(x);
+}`)
+	var last source.Pos
+	for id := ast.StmtID(1); id <= ast.StmtID(prog.NumStmts); id++ {
+		s := prog.StmtByID(id)
+		if s == nil {
+			t.Fatalf("missing stmt %d", id)
+		}
+		if s.Pos() < last {
+			t.Errorf("stmt %d starts before its predecessor", id)
+		}
+		if s.End() < s.Pos() {
+			t.Errorf("stmt %d has End before Pos", id)
+		}
+		last = s.Pos()
+	}
+}
+
+func TestExprStringParenthesization(t *testing.T) {
+	prog := parse(t, `func main() { var x = (1 + 2) * -3; }`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	vd := stmts[0].(*ast.VarDeclStmt)
+	if got := ast.ExprString(vd.Init); got != "(1+2)*-3" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestProgramNodeInterface(t *testing.T) {
+	prog := parse(t, `func main() {}`)
+	if prog.Pos() != 1 || prog.End() <= prog.Pos() {
+		t.Error("Program Pos/End wrong")
+	}
+	if prog.FuncByName("nosuch") != nil {
+		t.Error("FuncByName should return nil for unknown")
+	}
+	if prog.StmtByID(ast.NoStmt) != nil {
+		t.Error("StmtByID(NoStmt) should be nil")
+	}
+}
+
+func TestEveryNodeHasSanePositions(t *testing.T) {
+	prog := parse(t, `
+var g = 1;
+shared arr[3];
+sem s;
+chan c;
+func f(a int, b bool) int {
+	var x = a + 1;
+	if (b) { x = -x; } else { x = x * 2; }
+	while (x > 0) { x = x - 1; }
+	for (var i = 0; i < 2; i = i + 1) { arr[i] = i; }
+	var z = arr[0] + (arr[1]);
+	P(s);
+	V(s);
+	send(c, x);
+	var y = recv(c);
+	print("y=", y, true);
+	if (x == 0) { return y; }
+	f(0, false);
+	break_placeholder(x);
+	return 0;
+}
+func break_placeholder(x int) {
+	var i = 0;
+	while (i < 1) {
+		i = i + 1;
+		if (i == 1) { continue; }
+		break;
+	}
+	return;
+}
+func main() { spawn f(1, true); var r = 0; r = r; }`)
+	count := 0
+	ast.Inspect(prog, func(n ast.Node) bool {
+		count++
+		if !n.Pos().IsValid() {
+			t.Errorf("%T has invalid Pos", n)
+		}
+		if n.End() < n.Pos() {
+			t.Errorf("%T End %d < Pos %d", n, n.End(), n.Pos())
+		}
+		return true
+	})
+	if count < 50 {
+		t.Errorf("inspect visited only %d nodes", count)
+	}
+}
+
+func TestStmtStringAllForms(t *testing.T) {
+	prog := parse(t, `
+shared a[2];
+func main() {
+	var i = 0;
+	for (i = 0; i < 2; i = i + 1) { a[i] = i; }
+	while (i > 0) { i = i - 1; break; }
+	if (i == 0) { } else { }
+	return;
+}`)
+	var got []string
+	for _, s := range ast.Stmts(prog.FuncByName("main").Body) {
+		got = append(got, ast.StmtString(s))
+	}
+	want := map[string]bool{
+		"var i = 0": true, "for (;i<2;)": true, "a[i]=i": true,
+		"while (i>0)": true, "break": true, "if (i==0)": true, "return": true,
+	}
+	for _, g := range got {
+		delete(want, g)
+	}
+	if len(want) > 0 {
+		t.Errorf("StmtString never produced %v (got %v)", want, got)
+	}
+}

@@ -1,0 +1,117 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"ppd/internal/token"
+)
+
+// ExprString renders an expression as MPL source text. It is used by the
+// debugger when labelling dynamic-graph nodes and by golden tests.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		b.WriteString(e.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.Value)
+	case *BoolLit:
+		fmt.Fprintf(b, "%t", e.Value)
+	case *StringLit:
+		fmt.Fprintf(b, "%q", e.Value)
+	case *UnaryExpr:
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.X)
+	case *BinaryExpr:
+		writeExpr(b, e.X)
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.Y)
+	case *IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *CallExpr:
+		b.WriteString(e.Fun.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *RecvExpr:
+		b.WriteString("recv(")
+		b.WriteString(e.Chan.Name)
+		b.WriteByte(')')
+	case *ParenExpr:
+		b.WriteByte('(')
+		writeExpr(b, e.X)
+		b.WriteByte(')')
+	default:
+		b.WriteString("<?expr>")
+	}
+}
+
+// StmtString renders a one-line summary of a statement, used for debugger
+// listings ("s12: d=SubD(a,b,a+b+c)").
+func StmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		if s.Init != nil {
+			return fmt.Sprintf("var %s = %s", s.Name.Name, ExprString(s.Init))
+		}
+		return fmt.Sprintf("var %s", s.Name.Name)
+	case *AssignStmt:
+		if s.Index != nil {
+			return fmt.Sprintf("%s[%s]=%s", s.LHS.Name, ExprString(s.Index), ExprString(s.RHS))
+		}
+		return fmt.Sprintf("%s=%s", s.LHS.Name, ExprString(s.RHS))
+	case *IfStmt:
+		return fmt.Sprintf("if (%s)", ExprString(s.Cond))
+	case *WhileStmt:
+		return fmt.Sprintf("while (%s)", ExprString(s.Cond))
+	case *ForStmt:
+		cond := ""
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		return fmt.Sprintf("for (;%s;)", cond)
+	case *ReturnStmt:
+		if s.Result != nil {
+			return fmt.Sprintf("return %s", ExprString(s.Result))
+		}
+		return "return"
+	case *BreakStmt:
+		return "break"
+	case *ContinueStmt:
+		return "continue"
+	case *SpawnStmt:
+		return fmt.Sprintf("spawn %s", ExprString(s.Call))
+	case *SemStmt:
+		if s.Op == token.ACQUIRE {
+			return fmt.Sprintf("P(%s)", s.Sem.Name)
+		}
+		return fmt.Sprintf("V(%s)", s.Sem.Name)
+	case *SendStmt:
+		return fmt.Sprintf("send(%s,%s)", s.Chan.Name, ExprString(s.Value))
+	case *ExprStmt:
+		return ExprString(s.X)
+	case *PrintStmt:
+		parts := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			parts[i] = ExprString(a)
+		}
+		return "print(" + strings.Join(parts, ",") + ")"
+	case *BlockStmt:
+		return "{...}"
+	}
+	return "<?stmt>"
+}

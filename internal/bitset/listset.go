@@ -1,0 +1,89 @@
+package bitset
+
+import "sort"
+
+// ListSet is a sorted-slice set of ints: the representation the paper's §7
+// warns against. It exists solely as the baseline for experiment E9
+// (bit-mask vs. list structure); production code paths use Set.
+type ListSet struct {
+	elems []int
+}
+
+// NewList returns an empty list set.
+func NewList() *ListSet { return &ListSet{} }
+
+// ListFromSlice builds a list set from arbitrary (possibly unsorted,
+// possibly duplicated) elements.
+func ListFromSlice(elems []int) *ListSet {
+	s := &ListSet{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func (s *ListSet) find(i int) (int, bool) {
+	k := sort.SearchInts(s.elems, i)
+	return k, k < len(s.elems) && s.elems[k] == i
+}
+
+// Add inserts i, keeping the slice sorted.
+func (s *ListSet) Add(i int) {
+	k, ok := s.find(i)
+	if ok {
+		return
+	}
+	s.elems = append(s.elems, 0)
+	copy(s.elems[k+1:], s.elems[k:])
+	s.elems[k] = i
+}
+
+// Has reports membership.
+func (s *ListSet) Has(i int) bool {
+	_, ok := s.find(i)
+	return ok
+}
+
+// Count returns the number of members.
+func (s *ListSet) Count() int { return len(s.elems) }
+
+// Clone returns an independent copy.
+func (s *ListSet) Clone() *ListSet {
+	c := &ListSet{elems: make([]int, len(s.elems))}
+	copy(c.elems, s.elems)
+	return c
+}
+
+// UnionWith merges o into s and reports whether s changed.
+func (s *ListSet) UnionWith(o *ListSet) bool {
+	changed := false
+	for _, e := range o.elems {
+		k, ok := s.find(e)
+		if !ok {
+			s.elems = append(s.elems, 0)
+			copy(s.elems[k+1:], s.elems[k:])
+			s.elems[k] = e
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersects reports whether s and o share an element (merge-style scan).
+func (s *ListSet) Intersects(o *ListSet) bool {
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch {
+		case s.elems[i] == o.elems[j]:
+			return true
+		case s.elems[i] < o.elems[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Elems returns the members in increasing order (shared backing array).
+func (s *ListSet) Elems() []int { return s.elems }

@@ -1,0 +1,86 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"ppd/internal/ast"
+)
+
+func TestOpStrings(t *testing.T) {
+	wants := map[Op]string{
+		OpNop: "nop", OpConst: "const", OpPop: "pop",
+		OpLoadLocal: "loadl", OpStoreGlobal: "storeg",
+		OpLoadIndexedG: "loadxg", OpStoreIndexedL: "storexl",
+		OpAdd: "add", OpGe: "ge", OpJmpFalse: "jmpf",
+		OpCall: "call", OpSpawn: "spawn",
+		OpSemP: "semp", OpSend: "send", OpRecv: "recv",
+		OpPrintNl: "prnl",
+		OpPrelog:  "prelog", OpPostlog: "postlog", OpShPrelog: "shprelog",
+	}
+	for op, want := range wants {
+		if op.String() != want {
+			t.Errorf("%d = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown op should render op(N)")
+	}
+}
+
+func TestProgramLookupAndMetrics(t *testing.T) {
+	p := &Program{
+		FuncIdx: map[string]int{"main": 0, "f": 1},
+		Funcs: []*Func{
+			{Idx: 0, Name: "main", Code: []Instr{{Op: OpConst, A: 1}, {Op: OpRet}}},
+			{Idx: 1, Name: "f", Code: []Instr{{Op: OpRet}}},
+		},
+	}
+	if p.FuncByName("f") != p.Funcs[1] {
+		t.Error("FuncByName wrong")
+	}
+	if p.FuncByName("nosuch") != nil {
+		t.Error("unknown func should be nil")
+	}
+	if p.NumInstrs() != 3 {
+		t.Errorf("NumInstrs = %d, want 3", p.NumInstrs())
+	}
+}
+
+func TestDisasmFormats(t *testing.T) {
+	f := &Func{
+		Name:      "demo",
+		NumParams: 1,
+		NumSlots:  2,
+		BlockID:   0,
+		Code: []Instr{
+			{Op: OpPrelog, A: 0},
+			{Op: OpConst, A: 42, Stmt: ast.StmtID(1)},
+			{Op: OpStoreLocal, A: 1, Stmt: ast.StmtID(1)},
+			{Op: OpJmpFalse, A: 5, B: 1, Stmt: ast.StmtID(2)},
+			{Op: OpCall, A: 3, B: 2, Stmt: ast.StmtID(3)},
+			{Op: OpPostlog, A: 0, B: 1},
+			{Op: OpRetValue},
+		},
+	}
+	d := f.Disasm()
+	for _, want := range []string{
+		"func demo (params=1 slots=2 block=0)",
+		"const    42",
+		"jmpf     5 1",
+		"call     3 2",
+		"; s3",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+	p := &Program{
+		Funcs:   []*Func{f},
+		Globals: []GlobalDef{{Name: "g", Kind: GlobalVar, Init: 7, HasInit: true}},
+	}
+	pd := p.Disasm()
+	if !strings.Contains(pd, "global g") || !strings.Contains(pd, "init=7") {
+		t.Errorf("program disasm:\n%s", pd)
+	}
+}

@@ -1,0 +1,760 @@
+// Package compile is PPD's Compiler/Linker (§3.2.1): it runs the full
+// front-end and static-analysis pipeline, then lowers MPL to instrumented
+// bytecode. Its Artifacts bundle is exactly the preparatory phase's output:
+// the object code / emulation package (one code body, mode-switched), the
+// static program dependence graph, and the program database.
+package compile
+
+import (
+	"ppd/internal/ast"
+	"ppd/internal/bytecode"
+	"ppd/internal/eblock"
+	"ppd/internal/parser"
+	"ppd/internal/pdg"
+	"ppd/internal/progdb"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+	"ppd/internal/token"
+)
+
+// Artifacts is everything the preparatory phase produces.
+type Artifacts struct {
+	File *source.File
+	Prog *bytecode.Program
+	Info *sem.Info
+	PDG  *pdg.Program
+	Plan *eblock.Plan
+	DB   *progdb.DB
+}
+
+// Compile runs parse → check → static analysis → e-block planning →
+// code generation. On front-end errors it returns the error list's error.
+func Compile(file *source.File, cfg eblock.Config) (*Artifacts, error) {
+	errs := &source.ErrorList{}
+	prog := parser.Parse(file, errs)
+	info := sem.Check(prog, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	p := pdg.Build(info)
+	plan := eblock.Build(p, cfg)
+	db := progdb.Build(p, plan)
+
+	c := &compiler{
+		info: info,
+		pdg:  p,
+		plan: plan,
+		out: &bytecode.Program{
+			FuncIdx: make(map[string]int),
+			MainIdx: -1,
+		},
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+}
+
+// CompileSource is a convenience wrapper over Compile for tests and tools.
+func CompileSource(name, src string, cfg eblock.Config) (*Artifacts, error) {
+	return Compile(source.NewFile(name, src), cfg)
+}
+
+// CompileUnfiltered compiles with the literal-§5.5 shared prelogs (no
+// cross-write filtering) — the baseline of the shared-prelog ablation.
+func CompileUnfiltered(file *source.File, cfg eblock.Config) (*Artifacts, error) {
+	errs := &source.ErrorList{}
+	prog := parser.Parse(file, errs)
+	info := sem.Check(prog, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	p := pdg.BuildWithFilter(info, false)
+	plan := eblock.Build(p, cfg)
+	db := progdb.Build(p, plan)
+	c := &compiler{
+		info: info,
+		pdg:  p,
+		plan: plan,
+		out: &bytecode.Program{
+			FuncIdx: make(map[string]int),
+			MainIdx: -1,
+		},
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+}
+
+// CompileBare compiles without any instrumentation markers: no prelog,
+// postlog, or shared-prelog instructions are emitted. This is the paper's
+// true uninstrumented baseline for the §7 overhead measurement (E1) —
+// comparing against ModeRun over instrumented code would hide the marker
+// dispatch cost.
+func CompileBare(file *source.File) (*Artifacts, error) {
+	errs := &source.ErrorList{}
+	prog := parser.Parse(file, errs)
+	info := sem.Check(prog, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	p := pdg.Build(info)
+	plan := eblock.Build(p, eblock.Config{})
+	db := progdb.Build(p, plan)
+	c := &compiler{
+		info:    info,
+		pdg:     p,
+		plan:    plan,
+		noInstr: true,
+		out: &bytecode.Program{
+			FuncIdx: make(map[string]int),
+			MainIdx: -1,
+		},
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+}
+
+// CompileBareSource is the string-input variant of CompileBare.
+func CompileBareSource(name, src string) (*Artifacts, error) {
+	return CompileBare(source.NewFile(name, src))
+}
+
+type compiler struct {
+	info    *sem.Info
+	pdg     *pdg.Program
+	plan    *eblock.Plan
+	out     *bytecode.Program
+	noInstr bool // CompileBare: emit no instrumentation markers
+
+	strIdx map[string]int
+}
+
+func (c *compiler) run() error {
+	c.strIdx = make(map[string]int)
+
+	// Globals.
+	for _, g := range c.info.Globals {
+		def := bytecode.GlobalDef{Name: g.Name}
+		switch g.Kind {
+		case sem.SymGlobal:
+			def.Kind = bytecode.GlobalVar
+			def.Shared = true
+			if g.Type.Kind == ast.TypeArray {
+				def.IsArray = true
+				def.Len = g.Type.Len
+			}
+		case sem.SymSem:
+			def.Kind = bytecode.GlobalSem
+		case sem.SymChan:
+			def.Kind = bytecode.GlobalChan
+			def.Len = g.Type.Len
+		}
+		// Constant initializer, if any.
+		for _, gd := range c.info.Prog.Globals {
+			if gd.Name.Name == g.Name && gd.Init != nil {
+				if v, ok := constEval(gd.Init); ok {
+					def.Init = v
+					def.HasInit = true
+				} else {
+					errs := &source.ErrorList{}
+					errs.Errorf(c.info.Prog.File.Position(gd.Init.Pos()),
+						"global initializer for %q must be a constant expression", g.Name)
+					return errs.Err()
+				}
+			}
+		}
+		c.out.Globals = append(c.out.Globals, def)
+	}
+
+	// Function indices first (calls may be forward).
+	for i, fn := range c.info.FuncList {
+		f := &bytecode.Func{
+			Idx:        i,
+			Name:       fn.Name(),
+			NumParams:  len(fn.Params),
+			NumSlots:   fn.NumSlots,
+			HasResult:  fn.Decl.Result.Kind != ast.TypeVoid,
+			BlockID:    -1,
+			ArraySlots: map[int]int{},
+		}
+		for _, prm := range fn.Params {
+			f.ParamSlots = append(f.ParamSlots, prm.Slot)
+		}
+		for _, l := range fn.Locals {
+			if l.Type.Kind == ast.TypeArray {
+				f.ArraySlots[l.Slot] = l.Type.Len
+			}
+		}
+		c.out.Funcs = append(c.out.Funcs, f)
+		c.out.FuncIdx[fn.Name()] = i
+		if fn.Name() == "main" {
+			c.out.MainIdx = i
+		}
+	}
+
+	// E-block metadata table.
+	for _, b := range c.plan.Blocks {
+		meta := &bytecode.BlockMeta{
+			ID:      int(b.ID),
+			FuncIdx: c.out.FuncIdx[b.Fn.Name()],
+		}
+		space := c.pdg.Funcs[b.Fn.Name()].Space
+		split := func(set interface{ ForEach(func(int)) }, locals, globals *[]int) {
+			set.ForEach(func(i int) {
+				if space.IsGlobal(i) {
+					sym := space.Symbol(i)
+					if sym.Kind == sem.SymGlobal { // only data globals logged
+						*globals = append(*globals, space.GlobalID(i))
+					}
+				} else {
+					*locals = append(*locals, i)
+				}
+			})
+		}
+		switch b.Kind {
+		case eblock.FuncBlock:
+			meta.Kind = bytecode.BlockFunc
+			split(b.Used, &meta.UsedLocals, &meta.UsedGlobals)
+			var dl []int
+			split(b.Defined, &dl, &meta.DefinedGlobals)
+			// Function blocks never log defined locals (frame dies at exit).
+			meta.HasRet = b.Fn.Decl.Result.Kind != ast.TypeVoid
+			meta.PrelogPC = 0
+			meta.PostPC = -1
+		case eblock.LoopBlock:
+			meta.Kind = bytecode.BlockLoop
+			meta.LoopStmt = b.Loop.ID()
+			split(b.Used, &meta.UsedLocals, &meta.UsedGlobals)
+			split(b.Defined, &meta.DefinedLocals, &meta.DefinedGlobals)
+		}
+		c.out.Blocks = append(c.out.Blocks, meta)
+	}
+
+	// Code generation.
+	for i, fn := range c.info.FuncList {
+		fc := &fnCompiler{
+			c:  c,
+			fn: fn,
+			f:  c.out.Funcs[i],
+		}
+		fc.compile()
+	}
+	return nil
+}
+
+func (c *compiler) internString(s string) int {
+	if i, ok := c.strIdx[s]; ok {
+		return i
+	}
+	i := len(c.out.Strings)
+	c.out.Strings = append(c.out.Strings, s)
+	c.strIdx[s] = i
+	return i
+}
+
+// constEval evaluates compile-time constant expressions (for global
+// initializers).
+func constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.BoolLit:
+		if e.Value {
+			return 1, true
+		}
+		return 0, true
+	case *ast.ParenExpr:
+		return constEval(e.X)
+	case *ast.UnaryExpr:
+		v, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *ast.BinaryExpr:
+		x, ok1 := constEval(e.X)
+		y, ok2 := constEval(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, true
+		case token.SUB:
+			return x - y, true
+		case token.MUL:
+			return x * y, true
+		case token.QUO:
+			if y != 0 {
+				return x / y, true
+			}
+		case token.REM:
+			if y != 0 {
+				return x % y, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// fnCompiler generates code for one function.
+type fnCompiler struct {
+	c  *compiler
+	fn *sem.FuncInfo
+	f  *bytecode.Func
+
+	curStmt ast.StmtID
+
+	// loop stack
+	loops []*loopCtx
+
+	// unit table: StmtID -> index into f.Units (built on demand)
+	unitIdx map[ast.StmtID]int
+}
+
+type loopCtx struct {
+	contTarget  int   // pc to jump to on continue (head or post)
+	breakPatch  []int // OpJmp indices to patch to the exit
+	contPatch   []int // OpJmp indices to patch to contTarget (when unknown yet)
+	postlogInst int   // pc of the loop's OpPostlog, or -1
+}
+
+func (fc *fnCompiler) emit(op bytecode.Op, a, b int) int {
+	if fc.c.noInstr {
+		switch op {
+		case bytecode.OpPrelog, bytecode.OpPostlog, bytecode.OpShPrelog:
+			// CompileBare: markers suppressed. Return the index the marker
+			// would have had; callers only use it for jump patching, which
+			// never targets markers.
+			return len(fc.f.Code) - 1
+		}
+	}
+	fc.f.Code = append(fc.f.Code, bytecode.Instr{Op: op, A: a, B: b, Stmt: fc.curStmt})
+	return len(fc.f.Code) - 1
+}
+
+func (fc *fnCompiler) patch(idx, target int) { fc.f.Code[idx].A = target }
+
+func (fc *fnCompiler) here() int { return len(fc.f.Code) }
+
+func (fc *fnCompiler) compile() {
+	blk := fc.c.plan.ByFunc[fc.fn.Name()]
+	fc.unitIdx = make(map[ast.StmtID]int)
+
+	if blk != nil {
+		fc.f.BlockID = int(blk.ID)
+		fc.emit(bytecode.OpPrelog, int(blk.ID), 0)
+	}
+	// The entry synchronization unit needs no shared prelog of its own: the
+	// block prelog captures the same values at the same moment, and for
+	// inlined functions the caller's prelog inherits them (§5.4). Units
+	// starting at sync operations and call returns get markers below.
+
+	fc.block(fc.fn.Decl.Body)
+
+	// Implicit return at fall-off.
+	fc.curStmt = ast.NoStmt
+	if fc.f.HasResult {
+		fc.emit(bytecode.OpConst, 0, 0)
+		if blk != nil {
+			fc.emit(bytecode.OpPostlog, int(blk.ID), 1)
+		}
+		fc.emit(bytecode.OpRetValue, 0, 0)
+	} else {
+		if blk != nil {
+			fc.emit(bytecode.OpPostlog, int(blk.ID), 0)
+		}
+		fc.emit(bytecode.OpRet, 0, 0)
+	}
+}
+
+// emitShPrelog interns the unit's read set and emits the marker.
+func (fc *fnCompiler) emitShPrelog(stmt ast.StmtID, u *pdg.SyncUnit) {
+	idx, ok := fc.unitIdx[stmt]
+	if !ok {
+		idx = len(fc.f.Units)
+		fc.f.Units = append(fc.f.Units, bytecode.UnitLog{
+			Stmt:    stmt,
+			Globals: u.CrossReads.Elems(),
+		})
+		fc.unitIdx[stmt] = idx
+	}
+	saved := fc.curStmt
+	fc.curStmt = stmt
+	fc.emit(bytecode.OpShPrelog, idx, 0)
+	fc.curStmt = saved
+}
+
+// unitFor looks up the sync unit starting at statement s, returning nil for
+// units with no shared reads (paper §5.5: no log entry then).
+func (fc *fnCompiler) unitFor(s ast.Stmt) *pdg.SyncUnit {
+	fpdg := fc.c.pdg.Funcs[fc.fn.Name()]
+	node := fpdg.CFG.NodeFor(s.ID())
+	if node < 0 {
+		return nil
+	}
+	u := fpdg.Simple.UnitAt(node)
+	if u == nil || u.CrossReads.IsEmpty() {
+		return nil
+	}
+	return u
+}
+
+func (fc *fnCompiler) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		fc.stmt(s)
+	}
+}
+
+func (fc *fnCompiler) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	fc.curStmt = s.ID()
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		fc.block(s)
+
+	case *ast.VarDeclStmt:
+		sym := fc.c.info.Uses[s.Name]
+		if s.Type.Kind == ast.TypeArray {
+			// Arrays are allocated (zeroed) at frame setup; the declaration
+			// itself has no runtime effect.
+			return
+		}
+		if s.Init != nil {
+			fc.expr(s.Init)
+		} else {
+			fc.emit(bytecode.OpConst, 0, 0)
+		}
+		fc.emit(bytecode.OpStoreLocal, sym.Slot, 0)
+		fc.maybeUnitAfterCalls(s)
+
+	case *ast.AssignStmt:
+		sym := fc.c.info.Uses[s.LHS]
+		if s.Index != nil {
+			fc.expr(s.Index)
+			fc.expr(s.RHS)
+			if sym.GlobalID >= 0 {
+				fc.emit(bytecode.OpStoreIndexedG, sym.GlobalID, 0)
+			} else {
+				fc.emit(bytecode.OpStoreIndexedL, sym.Slot, 0)
+			}
+		} else {
+			fc.expr(s.RHS)
+			if sym.GlobalID >= 0 {
+				fc.emit(bytecode.OpStoreGlobal, sym.GlobalID, 0)
+			} else {
+				fc.emit(bytecode.OpStoreLocal, sym.Slot, 0)
+			}
+		}
+		fc.maybeUnitAfterCalls(s)
+
+	case *ast.IfStmt:
+		fc.expr(s.Cond)
+		jf := fc.emit(bytecode.OpJmpFalse, -1, 1)
+		fc.block(s.Then)
+		if s.Else != nil {
+			jend := fc.emit(bytecode.OpJmp, -1, 0)
+			fc.patch(jf, fc.here())
+			fc.stmt(s.Else)
+			fc.patch(jend, fc.here())
+		} else {
+			fc.patch(jf, fc.here())
+		}
+
+	case *ast.WhileStmt:
+		fc.compileLoop(s, nil, s.Cond, nil, s.Body)
+
+	case *ast.ForStmt:
+		fc.compileLoop(s, s.Init, s.Cond, s.Post, s.Body)
+
+	case *ast.ReturnStmt:
+		blk := fc.c.plan.ByFunc[fc.fn.Name()]
+		if s.Result != nil {
+			fc.expr(s.Result)
+			if blk != nil {
+				fc.emit(bytecode.OpPostlog, int(blk.ID), 1)
+			}
+			fc.emit(bytecode.OpRetValue, 0, 0)
+		} else {
+			if blk != nil {
+				fc.emit(bytecode.OpPostlog, int(blk.ID), 0)
+			}
+			fc.emit(bytecode.OpRet, 0, 0)
+		}
+
+	case *ast.BreakStmt:
+		l := fc.loops[len(fc.loops)-1]
+		l.breakPatch = append(l.breakPatch, fc.emit(bytecode.OpJmp, -1, 0))
+
+	case *ast.ContinueStmt:
+		l := fc.loops[len(fc.loops)-1]
+		if l.contTarget >= 0 {
+			fc.emit(bytecode.OpJmp, l.contTarget, 0)
+		} else {
+			l.contPatch = append(l.contPatch, fc.emit(bytecode.OpJmp, -1, 0))
+		}
+
+	case *ast.SpawnStmt:
+		for _, a := range s.Call.Args {
+			fc.expr(a)
+		}
+		fidx := fc.c.out.FuncIdx[s.Call.Fun.Name]
+		fc.emit(bytecode.OpSpawn, fidx, len(s.Call.Args))
+		if u := fc.unitFor(s); u != nil {
+			fc.emitShPrelog(s.ID(), u)
+		}
+
+	case *ast.SemStmt:
+		sym := fc.c.info.Uses[s.Sem]
+		if s.Op == token.ACQUIRE {
+			fc.emit(bytecode.OpSemP, sym.GlobalID, 0)
+		} else {
+			fc.emit(bytecode.OpSemV, sym.GlobalID, 0)
+		}
+		if u := fc.unitFor(s); u != nil {
+			fc.emitShPrelog(s.ID(), u)
+		}
+
+	case *ast.SendStmt:
+		fc.expr(s.Value)
+		sym := fc.c.info.Uses[s.Chan]
+		fc.emit(bytecode.OpSend, sym.GlobalID, 0)
+		if u := fc.unitFor(s); u != nil {
+			fc.emitShPrelog(s.ID(), u)
+		}
+
+	case *ast.ExprStmt:
+		switch x := s.X.(type) {
+		case *ast.CallExpr:
+			fc.expr(x)
+			// Discard the result if any.
+			if fc.c.out.Funcs[fc.c.out.FuncIdx[x.Fun.Name]].HasResult {
+				fc.emit(bytecode.OpPop, 0, 0)
+			}
+		case *ast.RecvExpr:
+			fc.expr(x)
+			fc.emit(bytecode.OpPop, 0, 0)
+		}
+		fc.maybeUnitAfterCalls(s)
+
+	case *ast.PrintStmt:
+		for _, a := range s.Args {
+			if str, ok := a.(*ast.StringLit); ok {
+				fc.emit(bytecode.OpPrintStr, fc.c.internString(str.Value), 0)
+				continue
+			}
+			fc.expr(a)
+			fc.emit(bytecode.OpPrintVal, 0, 0)
+		}
+		fc.emit(bytecode.OpPrintNl, 0, 0)
+		fc.maybeUnitAfterCalls(s)
+	}
+}
+
+// maybeUnitAfterCalls emits the shared prelog for statements that are unit
+// starts because they contain calls or a recv (the unit covers the code
+// *after* the statement completes).
+func (fc *fnCompiler) maybeUnitAfterCalls(s ast.Stmt) {
+	fpdg := fc.c.pdg.Funcs[fc.fn.Name()]
+	node := fpdg.CFG.NodeFor(s.ID())
+	if node < 0 {
+		return
+	}
+	kind, ok := fpdg.Simple.Kinds[node]
+	if !ok || kind.Branching() || kind == pdg.SimpleEntry || kind == pdg.SimpleExit {
+		return
+	}
+	if kind == pdg.SimpleSync {
+		return // handled at the sync-op emit sites
+	}
+	if u := fc.unitFor(s); u != nil {
+		fc.emitShPrelog(s.ID(), u)
+	}
+}
+
+// compileLoop generates while/for loops, with optional loop e-block
+// instrumentation (§5.4).
+func (fc *fnCompiler) compileLoop(loop ast.Stmt, init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		fc.stmt(init)
+	}
+	fc.curStmt = loop.ID()
+
+	blk := fc.c.plan.ByLoop[loop.ID()]
+	if blk != nil {
+		fc.emit(bytecode.OpPrelog, int(blk.ID), 0)
+	}
+
+	head := fc.here()
+	if cond != nil {
+		fc.curStmt = loop.ID()
+		fc.expr(cond)
+	} else {
+		fc.emit(bytecode.OpConst, 1, 0)
+	}
+	jf := fc.emit(bytecode.OpJmpFalse, -1, 1)
+
+	l := &loopCtx{contTarget: -1, postlogInst: -1}
+	fc.loops = append(fc.loops, l)
+	if post == nil {
+		l.contTarget = head
+	}
+
+	fc.block(body)
+
+	if post != nil {
+		postPC := fc.here()
+		fc.stmt(post)
+		for _, idx := range l.contPatch {
+			fc.patch(idx, postPC)
+		}
+	}
+	fc.curStmt = loop.ID()
+	fc.emit(bytecode.OpJmp, head, 0)
+
+	exit := fc.here()
+	fc.patch(jf, exit)
+	for _, idx := range l.breakPatch {
+		fc.patch(idx, exit)
+	}
+	if blk != nil {
+		fc.curStmt = loop.ID()
+		pc := fc.emit(bytecode.OpPostlog, int(blk.ID), 0)
+		l.postlogInst = pc
+		// Record the substitution jump target on the block metadata.
+		fc.c.out.Blocks[blk.ID].PrelogPC = headPrelogPC(fc.f, int(blk.ID))
+		fc.c.out.Blocks[blk.ID].PostPC = pc
+	}
+	fc.loops = fc.loops[:len(fc.loops)-1]
+}
+
+// headPrelogPC finds the OpPrelog instruction for a block id in f.
+func headPrelogPC(f *bytecode.Func, blockID int) int {
+	for pc, in := range f.Code {
+		if in.Op == bytecode.OpPrelog && in.A == blockID {
+			return pc
+		}
+	}
+	return -1
+}
+
+// ------------------------------------------------------------ expressions
+
+func (fc *fnCompiler) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		fc.emit(bytecode.OpConst, int(e.Value), 0)
+	case *ast.BoolLit:
+		v := 0
+		if e.Value {
+			v = 1
+		}
+		fc.emit(bytecode.OpConst, v, 0)
+	case *ast.StringLit:
+		// Only reachable through malformed programs; checker rejects
+		// strings outside print.
+		fc.emit(bytecode.OpConst, 0, 0)
+	case *ast.Ident:
+		sym := fc.c.info.Uses[e]
+		if sym.GlobalID >= 0 {
+			fc.emit(bytecode.OpLoadGlobal, sym.GlobalID, 0)
+		} else {
+			fc.emit(bytecode.OpLoadLocal, sym.Slot, 0)
+		}
+	case *ast.IndexExpr:
+		fc.expr(e.Index)
+		sym := fc.c.info.Uses[e.X]
+		if sym.GlobalID >= 0 {
+			fc.emit(bytecode.OpLoadIndexedG, sym.GlobalID, 0)
+		} else {
+			fc.emit(bytecode.OpLoadIndexedL, sym.Slot, 0)
+		}
+	case *ast.ParenExpr:
+		fc.expr(e.X)
+	case *ast.UnaryExpr:
+		fc.expr(e.X)
+		if e.Op == token.SUB {
+			fc.emit(bytecode.OpNeg, 0, 0)
+		} else {
+			fc.emit(bytecode.OpNot, 0, 0)
+		}
+	case *ast.BinaryExpr:
+		fc.binary(e)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			fc.expr(a)
+		}
+		fc.emit(bytecode.OpCall, fc.c.out.FuncIdx[e.Fun.Name], len(e.Args))
+	case *ast.RecvExpr:
+		sym := fc.c.info.Uses[e.Chan]
+		fc.emit(bytecode.OpRecv, sym.GlobalID, 0)
+	}
+}
+
+func (fc *fnCompiler) binary(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.LAND:
+		// a && b  =>  a ? b : 0, short-circuit.
+		fc.expr(e.X)
+		jf := fc.emit(bytecode.OpJmpFalse, -1, 0)
+		fc.expr(e.Y)
+		jend := fc.emit(bytecode.OpJmp, -1, 0)
+		fc.patch(jf, fc.here())
+		fc.emit(bytecode.OpConst, 0, 0)
+		fc.patch(jend, fc.here())
+		return
+	case token.LOR:
+		fc.expr(e.X)
+		jt := fc.emit(bytecode.OpJmpTrue, -1, 0)
+		fc.expr(e.Y)
+		jend := fc.emit(bytecode.OpJmp, -1, 0)
+		fc.patch(jt, fc.here())
+		fc.emit(bytecode.OpConst, 1, 0)
+		fc.patch(jend, fc.here())
+		return
+	}
+	fc.expr(e.X)
+	fc.expr(e.Y)
+	var op bytecode.Op
+	switch e.Op {
+	case token.ADD:
+		op = bytecode.OpAdd
+	case token.SUB:
+		op = bytecode.OpSub
+	case token.MUL:
+		op = bytecode.OpMul
+	case token.QUO:
+		op = bytecode.OpDiv
+	case token.REM:
+		op = bytecode.OpMod
+	case token.EQL:
+		op = bytecode.OpEq
+	case token.NEQ:
+		op = bytecode.OpNe
+	case token.LSS:
+		op = bytecode.OpLt
+	case token.LEQ:
+		op = bytecode.OpLe
+	case token.GTR:
+		op = bytecode.OpGt
+	case token.GEQ:
+		op = bytecode.OpGe
+	default:
+		op = bytecode.OpNop
+	}
+	fc.emit(op, 0, 0)
+}

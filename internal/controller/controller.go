@@ -1,0 +1,392 @@
+// Package controller implements the PPD Controller (§3.2.3): the debugging
+// phase's orchestrator. It owns the preparatory-phase artifacts and the
+// execution-phase logs, and answers flowback queries by locating the log
+// interval that covers the requested events, directing the emulation
+// package to regenerate that interval's traces, and building or extending
+// dynamic program dependence graphs — the paper's incremental tracing.
+//
+// Cross-process queries (§5.6, §6.3) go through the parallel dynamic graph:
+// a shared-variable value that flowed into an interval from outside is
+// resolved to the last ordered writer edge in another process, whose own
+// interval can then be emulated and grafted into the user's view.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/compile"
+	"ppd/internal/dynpdg"
+	"ppd/internal/emulation"
+	"ppd/internal/logging"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/vm"
+)
+
+// Controller is the debugging-phase coordinator.
+type Controller struct {
+	Art *compile.Artifacts
+	Log *logging.ProgramLog
+
+	// Failure is the error that halted execution, if any.
+	Failure *vm.RuntimeError
+
+	// Deadlock reports whether execution ended blocked.
+	Deadlock bool
+
+	pgraph *parallel.Graph
+	emus   []*emulation.Emulator
+
+	// graph cache: one dynamic graph per emulated interval.
+	graphs map[[2]int]*dynpdg.Graph
+	// emulation result cache (for Completed/Globals queries).
+	results map[[2]int]*emulation.Result
+}
+
+// New builds a controller from the compiled artifacts and an execution's
+// logs. failure and deadlock describe how the execution ended.
+func New(art *compile.Artifacts, pl *logging.ProgramLog, failure *vm.RuntimeError, deadlock bool) *Controller {
+	c := &Controller{
+		Art:      art,
+		Log:      pl,
+		Failure:  failure,
+		Deadlock: deadlock,
+		graphs:   make(map[[2]int]*dynpdg.Graph),
+		results:  make(map[[2]int]*emulation.Result),
+	}
+	for _, book := range pl.Books {
+		c.emus = append(c.emus, emulation.New(art.Prog, book))
+	}
+	c.pgraph = parallel.Build(pl, len(art.Prog.Globals))
+	return c
+}
+
+// FromRun is a convenience constructor from a finished ModeLog VM.
+func FromRun(art *compile.Artifacts, v *vm.VM) *Controller {
+	return New(art, v.Log, v.Failure, v.Deadlock)
+}
+
+// NumProcs returns the number of processes in the execution.
+func (c *Controller) NumProcs() int { return c.Log.NumProcs() }
+
+// Parallel returns the parallel dynamic graph.
+func (c *Controller) Parallel() *parallel.Graph { return c.pgraph }
+
+// Emulator returns the per-process emulator.
+func (c *Controller) Emulator(pid int) *emulation.Emulator { return c.emus[pid] }
+
+// Races runs the indexed race detector over the execution (§6.4).
+func (c *Controller) Races() []*race.Race { return race.Indexed(c.pgraph) }
+
+// DeadlockReport analyzes blocked processes (§6's deadlock-cause help).
+func (c *Controller) DeadlockReport() string {
+	info := c.pgraph.AnalyzeDeadlock()
+	return info.Report(
+		func(gid int) string {
+			if gid >= 0 && gid < len(c.Art.Prog.Globals) {
+				return c.Art.Prog.Globals[gid].Name
+			}
+			return fmt.Sprintf("global%d", gid)
+		},
+		func(id ast.StmtID) string {
+			if si := c.Art.DB.Stmt(id); si != nil {
+				return fmt.Sprintf("%s line %d: %s", si.Func, si.Pos.Line, si.Text)
+			}
+			return fmt.Sprintf("s%d", id)
+		})
+}
+
+// RaceReport renders the race list with variable names.
+func (c *Controller) RaceReport() string {
+	return race.Report(c.Races(), func(gid int) string {
+		return c.Art.Prog.Globals[gid].Name
+	})
+}
+
+// FocusInterval selects the interval a debugging session starts from for a
+// process: the last open prelog when the process halted mid-interval,
+// otherwise the last interval executed.
+func (c *Controller) FocusInterval(pid int) (int, error) {
+	if pid < 0 || pid >= len(c.emus) {
+		return -1, fmt.Errorf("controller: no process %d", pid)
+	}
+	em := c.emus[pid]
+	if idx := em.FindLastOpenPrelog(); idx >= 0 {
+		return idx, nil
+	}
+	// Every interval completed: focus on the outermost one (the process's
+	// entry function), which contains the last statement executed.
+	if idx := em.FirstPrelog(); idx >= 0 {
+		return idx, nil
+	}
+	return -1, fmt.Errorf("controller: process %d logged no intervals", pid)
+}
+
+// Graph returns (building and caching on demand) the dynamic graph of the
+// interval whose prelog is at record index prelogIdx of process pid. This
+// is the incremental step: only the requested interval is ever emulated.
+func (c *Controller) Graph(pid, prelogIdx int) (*dynpdg.Graph, error) {
+	key := [2]int{pid, prelogIdx}
+	if g, ok := c.graphs[key]; ok {
+		return g, nil
+	}
+	res, err := c.emus[pid].Emulate(prelogIdx)
+	if err != nil {
+		return nil, err
+	}
+	rec := c.Log.Books[pid].Records[prelogIdx]
+	fn := c.Art.Prog.Funcs[c.Art.Prog.Blocks[rec.Block].FuncIdx]
+	g := dynpdg.Build(c.Art, res.Trace, fn.Name)
+	c.graphs[key] = g
+	c.results[key] = res
+	return g, nil
+}
+
+// Result returns the cached emulation result for an interval (after Graph).
+func (c *Controller) Result(pid, prelogIdx int) *emulation.Result {
+	return c.results[[2]int{pid, prelogIdx}]
+}
+
+// FocusNode picks the node a debugging session roots at: the last instance
+// of the failing statement when the process failed, otherwise the last
+// event of the interval.
+func (c *Controller) FocusNode(g *dynpdg.Graph, pid int) *dynpdg.Node {
+	if c.Failure != nil && c.Failure.PID == pid {
+		// Prefer the statement's own singular node over the %n and
+		// sub-graph nodes that share its statement ID.
+		var singular, other *dynpdg.Node
+		for _, n := range g.NodesForStmt(c.Failure.Stmt) {
+			switch n.Kind {
+			case dynpdg.NodeSingular:
+				singular = n
+			case dynpdg.NodeSubGraph, dynpdg.NodeSync:
+				other = n
+			}
+		}
+		if singular != nil {
+			return singular
+		}
+		if other != nil {
+			return other
+		}
+	}
+	return g.LastNode()
+}
+
+// CurrentGraph builds the graph for the focus interval of pid.
+func (c *Controller) CurrentGraph(pid int) (*dynpdg.Graph, int, error) {
+	idx, err := c.FocusInterval(pid)
+	if err != nil {
+		return nil, -1, err
+	}
+	g, err := c.Graph(pid, idx)
+	return g, idx, err
+}
+
+// IntervalContaining returns the record index of the innermost prelog whose
+// interval covers record index ri in pid's book, or -1.
+func (c *Controller) IntervalContaining(pid, ri int) int {
+	var stack []int
+	innermost := -1
+	for i, r := range c.Log.Books[pid].Records {
+		if i > ri {
+			break
+		}
+		switch r.Kind {
+		case logging.RecPrelog:
+			stack = append(stack, i)
+		case logging.RecPostlog:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		if i == ri && len(stack) > 0 {
+			innermost = stack[len(stack)-1]
+		}
+	}
+	if innermost == -1 && len(stack) > 0 {
+		innermost = stack[len(stack)-1]
+	}
+	return innermost
+}
+
+// CrossRef is the answer to a cross-process flowback query: the writer
+// process, its internal edge, and the interval to emulate for detail.
+type CrossRef struct {
+	PID       int
+	Edge      *parallel.InternalEdge
+	PrelogIdx int // interval containing the write; -1 if outside any
+	Racy      bool
+	// RacyWith lists other unordered writer edges (the value's provenance
+	// is ambiguous — a race, §5.5/§6.3).
+	RacyWith []*parallel.InternalEdge
+}
+
+// ResolveInitial resolves an @pre initial node for shared global gid in the
+// interval (pid, prelogIdx): which other process's edge supplied the value
+// (§6.3's cross-process data dependence). Returns nil when the value came
+// from initialization (no prior writer).
+func (c *Controller) ResolveInitial(pid, prelogIdx, gid int) *CrossRef {
+	// Find this interval's record span.
+	res := c.results[[2]int{pid, prelogIdx}]
+	span := len(c.Log.Books[pid].Records)
+	if res != nil {
+		span = prelogIdx + res.RecordsConsumed
+	}
+	// The reading edges of this process overlapping the interval.
+	var readEdge *parallel.InternalEdge
+	for _, e := range c.pgraph.EdgesOf(pid) {
+		if e.EndRec < prelogIdx || e.StartRec > span {
+			continue
+		}
+		if e.Reads.Has(gid) {
+			readEdge = e
+			break
+		}
+	}
+	if readEdge == nil {
+		// The read may predate any sync op; use the process's first edge
+		// overlapping the interval.
+		for _, e := range c.pgraph.EdgesOf(pid) {
+			if e.EndRec >= prelogIdx && e.StartRec <= span {
+				readEdge = e
+				break
+			}
+		}
+	}
+	if readEdge == nil {
+		return nil
+	}
+	writer := c.pgraph.LastWriterBefore(readEdge, gid)
+
+	// Collect unordered (racy) writers too.
+	var racy []*parallel.InternalEdge
+	for _, cand := range c.pgraph.Edges {
+		if cand.PID == pid || !cand.Writes.Has(gid) {
+			continue
+		}
+		if c.pgraph.Simultaneous(cand, readEdge) {
+			racy = append(racy, cand)
+		}
+	}
+
+	if writer == nil && len(racy) == 0 {
+		return nil
+	}
+	ref := &CrossRef{Racy: len(racy) > 0, RacyWith: racy}
+	if writer != nil {
+		ref.PID = writer.PID
+		ref.Edge = writer
+		ref.PrelogIdx = c.IntervalContaining(writer.PID, writer.EndRec)
+	} else {
+		ref.PID = racy[0].PID
+		ref.Edge = racy[0]
+		ref.PrelogIdx = c.IntervalContaining(racy[0].PID, racy[0].EndRec)
+	}
+	return ref
+}
+
+// Flowback walks backward from a node through data/control/sync edges up to
+// the given depth, returning the reachable slice of the graph in
+// breadth-first order — the fragment the debugger presents (§3.2.3's
+// "portion of the dynamic graph").
+func Flowback(g *dynpdg.Graph, from dynpdg.NodeID, depth int) []*dynpdg.Node {
+	type item struct {
+		id dynpdg.NodeID
+		d  int
+	}
+	seen := map[dynpdg.NodeID]bool{from: true}
+	queue := []item{{from, 0}}
+	var out []*dynpdg.Node
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		out = append(out, g.Nodes[it.id])
+		if it.d == depth {
+			continue
+		}
+		var deps []dynpdg.NodeID
+		for _, e := range g.Incoming(it.id) {
+			if e.Kind == dynpdg.EdgeFlow {
+				continue
+			}
+			deps = append(deps, e.From)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		for _, d := range deps {
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, item{d, it.d + 1})
+			}
+		}
+	}
+	return out
+}
+
+// RenderFragment prints a flowback fragment as an indented dependence tree
+// rooted at the node, the textual analogue of the paper's inverted-tree
+// display.
+func RenderFragment(g *dynpdg.Graph, root dynpdg.NodeID, depth int) string {
+	var sb strings.Builder
+	var walk func(id dynpdg.NodeID, d int, via string, seen map[dynpdg.NodeID]bool)
+	walk = func(id dynpdg.NodeID, d int, via string, seen map[dynpdg.NodeID]bool) {
+		n := g.Nodes[id]
+		fmt.Fprintf(&sb, "%s", strings.Repeat("  ", d))
+		if via != "" {
+			fmt.Fprintf(&sb, "<-%s- ", via)
+		}
+		fmt.Fprintf(&sb, "n%d [%s]", n.ID, n.Label)
+		if n.Stmt != ast.NoStmt {
+			fmt.Fprintf(&sb, " s%d", n.Stmt)
+		}
+		if n.HasValue {
+			fmt.Fprintf(&sb, " = %d", n.Value)
+		}
+		sb.WriteByte('\n')
+		if d == depth || seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, e := range g.Incoming(id) {
+			if e.Kind == dynpdg.EdgeFlow {
+				continue
+			}
+			walk(e.From, d+1, e.Kind.String(), seen)
+		}
+	}
+	walk(root, 0, "", map[dynpdg.NodeID]bool{})
+	return sb.String()
+}
+
+// Summary describes the halted execution for the debugger's banner.
+func (c *Controller) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "execution: %d process(es), %d log record(s)\n",
+		c.NumProcs(), totalRecords(c.Log))
+	switch {
+	case c.Failure != nil:
+		st := c.Art.DB.Stmt(c.Failure.Stmt)
+		loc := "?"
+		if st != nil {
+			loc = fmt.Sprintf("%s line %d: %s", st.Func, st.Pos.Line, st.Text)
+		}
+		fmt.Fprintf(&sb, "halted: process %d failed at s%d (%s): %s\n",
+			c.Failure.PID, c.Failure.Stmt, loc, c.Failure.Msg)
+	case c.Deadlock:
+		sb.WriteString("halted: deadlock\n")
+	default:
+		sb.WriteString("completed normally\n")
+	}
+	return sb.String()
+}
+
+func totalRecords(pl *logging.ProgramLog) int {
+	n := 0
+	for _, b := range pl.Books {
+		n += b.Len()
+	}
+	return n
+}

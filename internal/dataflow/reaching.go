@@ -1,0 +1,181 @@
+package dataflow
+
+import (
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/cfg"
+)
+
+// DefSite is one definition point: CFG node n defining variable v (space
+// index). The ENTRY node defines every parameter and every global,
+// representing the values flowing in at function entry — exactly what the
+// paper's prelog captures.
+type DefSite struct {
+	Node cfg.NodeID
+	Var  int
+}
+
+// Reaching is the result of reaching-definition analysis for one function.
+type Reaching struct {
+	Space *Space
+	Graph *cfg.Graph
+	Sites []DefSite // dense site numbering
+
+	siteOf map[DefSite]int
+	// defsOfVar[v] = bitset over sites that define v (used for kills).
+	defsOfVar []*bitset.Set
+
+	In  []*bitset.Set // per node, over sites
+	Out []*bitset.Set
+
+	UD map[ast.StmtID]*UseDef
+}
+
+// ComputeReaching runs reaching definitions over the function's CFG, with
+// the given per-statement UseDef facts (already widened by call effects if
+// interprocedural precision is wanted).
+func ComputeReaching(space *Space, g *cfg.Graph, uds map[ast.StmtID]*UseDef) *Reaching {
+	r := &Reaching{
+		Space:  space,
+		Graph:  g,
+		siteOf: make(map[DefSite]int),
+		UD:     uds,
+	}
+
+	// Enumerate def sites. ENTRY defines params and globals.
+	addSite := func(n cfg.NodeID, v int) {
+		ds := DefSite{Node: n, Var: v}
+		if _, ok := r.siteOf[ds]; ok {
+			return
+		}
+		r.siteOf[ds] = len(r.Sites)
+		r.Sites = append(r.Sites, ds)
+	}
+	for _, p := range space.Fn.Params {
+		addSite(cfg.EntryNode, space.Index(p))
+	}
+	for gid := 0; gid < space.Info.NumGlobals(); gid++ {
+		addSite(cfg.EntryNode, space.GlobalIndex(gid))
+	}
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		ud := uds[n.Stmt.ID()]
+		if ud == nil {
+			continue
+		}
+		ud.Def.ForEach(func(v int) { addSite(n.ID, v) })
+	}
+
+	nSites := len(r.Sites)
+	r.defsOfVar = make([]*bitset.Set, space.Size())
+	for v := range r.defsOfVar {
+		r.defsOfVar[v] = bitset.New(nSites)
+	}
+	for i, ds := range r.Sites {
+		r.defsOfVar[ds.Var].Add(i)
+	}
+
+	// GEN and KILL per node.
+	gen := make([]*bitset.Set, len(g.Nodes))
+	kill := make([]*bitset.Set, len(g.Nodes))
+	for i := range g.Nodes {
+		gen[i] = bitset.New(nSites)
+		kill[i] = bitset.New(nSites)
+	}
+	// ENTRY generates its sites.
+	for _, p := range space.Fn.Params {
+		gen[cfg.EntryNode].Add(r.siteOf[DefSite{cfg.EntryNode, space.Index(p)}])
+	}
+	for gid := 0; gid < space.Info.NumGlobals(); gid++ {
+		gen[cfg.EntryNode].Add(r.siteOf[DefSite{cfg.EntryNode, space.GlobalIndex(gid)}])
+	}
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		ud := uds[n.Stmt.ID()]
+		if ud == nil {
+			continue
+		}
+		ud.Def.ForEach(func(v int) {
+			gen[n.ID].Add(r.siteOf[DefSite{n.ID, v}])
+		})
+		ud.Kill.ForEach(func(v int) {
+			k := kill[n.ID]
+			k.UnionWith(r.defsOfVar[v])
+			// A statement does not kill its own definition.
+			k.Remove(r.siteOf[DefSite{n.ID, v}])
+		})
+	}
+
+	// Iterative fixpoint, forward, union confluence.
+	r.In = make([]*bitset.Set, len(g.Nodes))
+	r.Out = make([]*bitset.Set, len(g.Nodes))
+	for i := range g.Nodes {
+		r.In[i] = bitset.New(nSites)
+		r.Out[i] = bitset.New(nSites)
+	}
+	changed := true
+	tmp := bitset.New(nSites)
+	for changed {
+		changed = false
+		for _, n := range g.Nodes {
+			in := r.In[n.ID]
+			for _, p := range n.Preds {
+				in.UnionWith(r.Out[p])
+			}
+			tmp.Copy(in)
+			tmp.DifferenceWith(kill[n.ID])
+			tmp.UnionWith(gen[n.ID])
+			if !tmp.Equal(r.Out[n.ID]) {
+				r.Out[n.ID].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// ReachingDefsOf returns the definition sites of variable v that reach node
+// n (i.e. may supply the value a use of v at n observes).
+func (r *Reaching) ReachingDefsOf(n cfg.NodeID, v int) []DefSite {
+	var out []DefSite
+	in := r.In[n]
+	r.defsOfVar[v].ForEach(func(site int) {
+		if in.Has(site) {
+			out = append(out, r.Sites[site])
+		}
+	})
+	return out
+}
+
+// DUEdge is one def-use chain link: the definition at Def reaches the use of
+// Var at the Use node.
+type DUEdge struct {
+	Def DefSite
+	Use cfg.NodeID
+	Var int
+}
+
+// DefUseChains materializes all def-use edges of the function. These become
+// the data-dependence edges of the static PDG.
+func (r *Reaching) DefUseChains() []DUEdge {
+	var out []DUEdge
+	for _, n := range r.Graph.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		ud := r.UD[n.Stmt.ID()]
+		if ud == nil {
+			continue
+		}
+		ud.Use.ForEach(func(v int) {
+			for _, ds := range r.ReachingDefsOf(n.ID, v) {
+				out = append(out, DUEdge{Def: ds, Use: n.ID, Var: v})
+			}
+		})
+	}
+	return out
+}

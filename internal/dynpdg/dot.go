@@ -1,0 +1,62 @@
+package dynpdg
+
+import (
+	"fmt"
+	"strings"
+
+	"ppd/internal/ast"
+)
+
+// DOT renders the dynamic graph in Graphviz format — a stand-in for the
+// graphical display the paper defers to future work (§7: "the graphical
+// information produced by the debugging must be presented in a form that is
+// easily understood"). Node shapes follow Fig 4.1's conventions: ellipses
+// for singular nodes, boxes for sub-graph nodes; data-dependence edges are
+// solid, control-dependence edges dashed, flow edges dotted (and omitted by
+// default for readability).
+func (g *Graph) DOT(includeFlow bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph ppd {\n")
+	fmt.Fprintf(&b, "  rankdir=BT;\n") // flowback reads bottom-up like Fig 4.1
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		style := ""
+		switch n.Kind {
+		case NodeSubGraph:
+			shape = "box"
+		case NodeEntry, NodeExit:
+			shape = "diamond"
+		case NodeParam:
+			shape = "ellipse"
+			style = `, style=dashed`
+		case NodeInitial:
+			shape = "plaintext"
+		case NodeSync:
+			shape = "hexagon"
+		}
+		label := n.Label
+		if n.Stmt != ast.NoStmt {
+			label = fmt.Sprintf("%s\\ns%d", label, n.Stmt)
+		}
+		if n.HasValue {
+			label = fmt.Sprintf("%s = %d", label, n.Value)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s%s];\n", n.ID, label, shape, style)
+	}
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case EdgeData:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		case EdgeControl:
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", e.From, e.To)
+		case EdgeSync:
+			fmt.Fprintf(&b, "  n%d -> n%d [style=bold];\n", e.From, e.To)
+		case EdgeFlow:
+			if includeFlow {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dotted, arrowhead=open];\n", e.From, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,299 @@
+package eblock
+
+import (
+	"testing"
+
+	"ppd/internal/parser"
+	"ppd/internal/pdg"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+)
+
+func buildPlan(t *testing.T, src string, cfg Config) *Plan {
+	t.Helper()
+	errs := &source.ErrorList{}
+	prog := parser.ParseString("test.mpl", src, errs)
+	info := sem.Check(prog, errs)
+	if errs.ErrCount() != 0 {
+		t.Fatalf("front-end errors:\n%v", errs.Err())
+	}
+	return Build(pdg.Build(info), cfg)
+}
+
+func globalNames(p *Plan, set interface{ Elems() []int }) map[string]bool {
+	out := map[string]bool{}
+	for _, id := range set.Elems() {
+		out[p.PDG.Info.Globals[id].Name] = true
+	}
+	return out
+}
+
+func TestEveryFunctionGetsBlockByDefault(t *testing.T) {
+	plan := buildPlan(t, `
+func tiny() int { return 1; }
+func main() { var x = tiny(); }`, Config{})
+	if len(plan.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2:\n%s", len(plan.Blocks), plan)
+	}
+	if plan.Inlined["tiny"] {
+		t.Error("nothing should inline with zero config")
+	}
+}
+
+func TestLeafInlining(t *testing.T) {
+	plan := buildPlan(t, `
+var g;
+func tiny() int { return g; }
+func big(n int) int {
+	var a = n; var b = a; var c = b; var d = c;
+	return d;
+}
+func main() {
+	var x = tiny() + big(2);
+}`, Config{LeafInlineThreshold: 3})
+	if !plan.Inlined["tiny"] {
+		t.Error("tiny should inline (1 stmt, leaf, no sync)")
+	}
+	if plan.Inlined["big"] {
+		t.Error("big exceeds the threshold")
+	}
+	if plan.ByFunc["tiny"] != nil {
+		t.Error("inlined function must not have an e-block")
+	}
+	// main inherits tiny's USED set (reads g).
+	mb := plan.ByFunc["main"]
+	if !globalNames(plan, mb.UsedGlobals)["g"] {
+		t.Errorf("main must inherit g from inlined tiny; used=%s", mb.UsedGlobals)
+	}
+}
+
+func TestSyncLeafNeverInlines(t *testing.T) {
+	plan := buildPlan(t, `
+sem s;
+func lock() { P(s); }
+func main() { lock(); }`, Config{LeafInlineThreshold: 10})
+	if plan.Inlined["lock"] {
+		t.Error("synchronizing functions must keep their e-blocks")
+	}
+}
+
+func TestSpawnTargetNeverInlines(t *testing.T) {
+	plan := buildPlan(t, `
+func w() { print(1); }
+func main() { spawn w(); }`, Config{LeafInlineThreshold: 10})
+	if plan.Inlined["w"] {
+		t.Error("spawn targets must keep their e-blocks (each process logs)")
+	}
+}
+
+func TestMainNeverInlines(t *testing.T) {
+	plan := buildPlan(t, `func main() { print(1); }`, Config{LeafInlineThreshold: 10})
+	if plan.Inlined["main"] {
+		t.Error("main must never inline")
+	}
+}
+
+func TestChainOfInlinedLeaves(t *testing.T) {
+	// mid calls tiny; both are small and sync-free, so the inlining
+	// fixpoint folds the whole chain and main inherits g transitively.
+	plan := buildPlan(t, `
+var g;
+func tiny() int { return g; }
+func mid() int { return tiny() + 1; }
+func main() { var x = mid(); }`, Config{LeafInlineThreshold: 3})
+	if !plan.Inlined["tiny"] || !plan.Inlined["mid"] {
+		t.Fatalf("tiny and mid should both inline (fixpoint): %v", plan.Inlined)
+	}
+	mainB := plan.ByFunc["main"]
+	if !globalNames(plan, mainB.UsedGlobals)["g"] {
+		t.Errorf("main must inherit g through the inlined chain; used=%s", mainB.UsedGlobals)
+	}
+}
+
+func TestMediumCalleeBlocksInheritance(t *testing.T) {
+	// big keeps its own e-block, so main must NOT claim big's reads in its
+	// prelog — big logs for itself.
+	plan := buildPlan(t, `
+var g;
+func big() int {
+	var a = g; var b = a; var c = b; var d = c; var e = d;
+	return e;
+}
+func main() { var x = big(); }`, Config{LeafInlineThreshold: 3})
+	if plan.Inlined["big"] {
+		t.Fatal("big exceeds the threshold; must not inline")
+	}
+	mainB := plan.ByFunc["main"]
+	if globalNames(plan, mainB.UsedGlobals)["g"] {
+		t.Errorf("main must not inherit g through non-inlined big; used=%s", mainB.UsedGlobals)
+	}
+}
+
+func TestRecursiveFunctionNeverInlines(t *testing.T) {
+	plan := buildPlan(t, `
+func rec(n int) int {
+	if (n <= 0) { return 0; }
+	return rec(n - 1);
+}
+func main() { var x = rec(3); }`, Config{LeafInlineThreshold: 10})
+	if plan.Inlined["rec"] {
+		t.Error("self-recursive functions must keep their e-blocks")
+	}
+}
+
+func TestPostlogCoversTransitiveWrites(t *testing.T) {
+	plan := buildPlan(t, `
+var g;
+func setg(v int) { g = v; }
+func main() { setg(1); }`, Config{})
+	mainB := plan.ByFunc["main"]
+	if !globalNames(plan, mainB.DefinedGlobals)["g"] {
+		t.Errorf("main's DEFINED must include callee writes (postlog restores the interval); got %s",
+			mainB.DefinedGlobals)
+	}
+	// But main's USED must not include g: setg logs its own reads.
+	if globalNames(plan, mainB.UsedGlobals)["g"] {
+		t.Errorf("main's USED must not include callee-private reads; got %s", mainB.UsedGlobals)
+	}
+}
+
+func TestParamsInUsedSet(t *testing.T) {
+	plan := buildPlan(t, `
+func f(a int, b int) int { return a + b; }
+func main() { var x = f(1, 2); }`, Config{})
+	fb := plan.ByFunc["f"]
+	count := 0
+	fb.Used.ForEach(func(i int) {
+		if !plan.PDG.Funcs["f"].Space.IsGlobal(i) {
+			count++
+		}
+	})
+	if count != 2 {
+		t.Errorf("f's used locals = %d, want 2 params", count)
+	}
+}
+
+func TestLoopBlocks(t *testing.T) {
+	src := `
+var g;
+func main() {
+	var s = 0;
+	for (var i = 0; i < 100; i = i + 1) {
+		var a = i * 2;
+		var b = a + 1;
+		var c = b * b;
+		var d = c - a;
+		s = s + d;
+		g = g + s;
+	}
+	print(s);
+}`
+	plan := buildPlan(t, src, Config{LoopBlockMinStmts: 5})
+	if len(plan.ByLoop) != 1 {
+		t.Fatalf("loop blocks = %d, want 1:\n%s", len(plan.ByLoop), plan)
+	}
+	var lb *EBlock
+	for _, b := range plan.ByLoop {
+		lb = b
+	}
+	if lb.Kind != LoopBlock {
+		t.Error("wrong kind")
+	}
+	if !globalNames(plan, lb.UsedGlobals)["g"] || !globalNames(plan, lb.DefinedGlobals)["g"] {
+		t.Errorf("loop block must track g: used=%s defined=%s", lb.UsedGlobals, lb.DefinedGlobals)
+	}
+	// The loop reads and writes local s (accumulator) — check the local
+	// part of the space-set is nonempty.
+	hasLocal := false
+	lb.Used.ForEach(func(i int) {
+		if !plan.PDG.Funcs["main"].Space.IsGlobal(i) {
+			hasLocal = true
+		}
+	})
+	if !hasLocal {
+		t.Error("loop block must record used locals")
+	}
+
+	// Disabled config: no loop blocks.
+	plan2 := buildPlan(t, src, Config{})
+	if len(plan2.ByLoop) != 0 {
+		t.Error("loop blocks created with disabled config")
+	}
+}
+
+func TestSyncLoopNotABlock(t *testing.T) {
+	plan := buildPlan(t, `
+sem s;
+func main() {
+	for (var i = 0; i < 100; i = i + 1) {
+		P(s);
+		var a = i; var b = a; var c = b; var d = c;
+		print(d);
+		V(s);
+	}
+}`, Config{LoopBlockMinStmts: 3})
+	if len(plan.ByLoop) != 0 {
+		t.Error("loops containing synchronization must not become e-blocks")
+	}
+}
+
+func TestInnerLoopQualifiesWhenOuterSyncs(t *testing.T) {
+	plan := buildPlan(t, `
+sem s;
+func main() {
+	for (var i = 0; i < 10; i = i + 1) {
+		P(s);
+		V(s);
+		for (var j = 0; j < 10; j = j + 1) {
+			var a = j; var b = a; var c = b; var d = c;
+			print(d);
+		}
+	}
+}`, Config{LoopBlockMinStmts: 3})
+	if len(plan.ByLoop) != 1 {
+		t.Errorf("inner sync-free loop should still become a block:\n%s", plan)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig()
+	if c.LeafInlineThreshold <= 0 || c.LoopBlockMinStmts <= 0 {
+		t.Error("default config should enable both heuristics")
+	}
+}
+
+func TestLoopBlockPostlogTrimsDeadLocals(t *testing.T) {
+	// s survives the loop (printed); scratch locals die inside it. Only s
+	// (and the loop counter read by nothing afterwards) should need
+	// logging — the dead body temporaries must be trimmed.
+	src := `
+func main() {
+	var s = 0;
+	for (var i = 0; i < 100; i = i + 1) {
+		var a = i * 2;
+		var b = a + 1;
+		var c = b * b;
+		var d = c - a;
+		s = s + d;
+	}
+	print(s);
+}`
+	plan := buildPlan(t, src, Config{LoopBlockMinStmts: 5})
+	if len(plan.ByLoop) != 1 {
+		t.Fatalf("no loop block:\n%s", plan)
+	}
+	var lb *EBlock
+	for _, b := range plan.ByLoop {
+		lb = b
+	}
+	space := plan.PDG.Funcs["main"].Space
+	var definedLocals []string
+	lb.Defined.ForEach(func(i int) {
+		if !space.IsGlobal(i) {
+			definedLocals = append(definedLocals, space.Name(i))
+		}
+	})
+	if len(definedLocals) != 1 || definedLocals[0] != "s" {
+		t.Errorf("postlog locals = %v, want [s] only", definedLocals)
+	}
+}

@@ -1,0 +1,185 @@
+package interproc
+
+import (
+	"testing"
+
+	"ppd/internal/parser"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	errs := &source.ErrorList{}
+	prog := parser.ParseString("test.mpl", src, errs)
+	info := sem.Check(prog, errs)
+	if errs.ErrCount() != 0 {
+		t.Fatalf("front-end errors:\n%v", errs.Err())
+	}
+	return Analyze(info)
+}
+
+func globalNames(r *Result, set interface{ Elems() []int }) []string {
+	var out []string
+	for _, id := range set.Elems() {
+		out = append(out, r.Info.Globals[id].Name)
+	}
+	return out
+}
+
+func has(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDirectModRef(t *testing.T) {
+	r := analyze(t, `
+var g1;
+var g2;
+func reader() int { return g1; }
+func writer(v int) { g2 = v; }
+func main() { writer(reader()); }
+`)
+	rd := r.Summaries["reader"]
+	if !has(globalNames(r, rd.DirectUsed), "g1") || has(globalNames(r, rd.DirectUsed), "g2") {
+		t.Errorf("reader used = %v", globalNames(r, rd.DirectUsed))
+	}
+	if !rd.DirectDefined.IsEmpty() {
+		t.Errorf("reader defined = %v", globalNames(r, rd.DirectDefined))
+	}
+	wr := r.Summaries["writer"]
+	if !has(globalNames(r, wr.DirectDefined), "g2") {
+		t.Errorf("writer defined = %v", globalNames(r, wr.DirectDefined))
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := analyze(t, `
+var a; var b; var c;
+func leaf() { c = 1; }
+func mid() int { leaf(); return b; }
+func top() { a = mid(); }
+func main() { top(); }
+`)
+	top := r.Summaries["top"]
+	def := globalNames(r, top.Defined)
+	use := globalNames(r, top.Used)
+	if !has(def, "a") || !has(def, "c") {
+		t.Errorf("top defined = %v, want a and c", def)
+	}
+	if !has(use, "b") {
+		t.Errorf("top used = %v, want b", use)
+	}
+	m := r.Summaries["main"]
+	if !has(globalNames(r, m.Defined), "c") {
+		t.Errorf("main defined = %v, want c (via top->mid->leaf)", globalNames(r, m.Defined))
+	}
+}
+
+func TestRecursionConverges(t *testing.T) {
+	r := analyze(t, `
+var g;
+func even(n int) int { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n int) int { if (n == 0) { return 0; } g = n; return even(n - 1); }
+func main() { var x = even(10); }
+`)
+	ev := r.Summaries["even"]
+	if !has(globalNames(r, ev.Defined), "g") {
+		t.Errorf("even defined = %v, want g via mutual recursion", globalNames(r, ev.Defined))
+	}
+	if !has(globalNames(r, r.Summaries["main"].Defined), "g") {
+		t.Error("main should transitively define g")
+	}
+}
+
+func TestSpawnDoesNotLeakEffects(t *testing.T) {
+	r := analyze(t, `
+var g;
+func worker() { g = 1; }
+func main() { spawn worker(); }
+`)
+	m := r.Summaries["main"]
+	if has(globalNames(r, m.Defined), "g") {
+		t.Error("spawned callee's writes must not count as the spawner's writes")
+	}
+	if !m.SpawnedOnly["worker"] {
+		t.Error("worker should be marked spawned-only")
+	}
+	if !m.UsesSync {
+		t.Error("spawn is a synchronization operation")
+	}
+	targets := r.SpawnTargets()
+	if !targets["worker"] {
+		t.Error("worker missing from spawn targets")
+	}
+}
+
+func TestLeafDetection(t *testing.T) {
+	r := analyze(t, `
+func leaf(x int) int { return x * 2; }
+func caller() int { return leaf(3); }
+func main() { var v = caller(); }
+`)
+	if !r.Summaries["leaf"].IsLeaf {
+		t.Error("leaf should be a leaf")
+	}
+	if r.Summaries["caller"].IsLeaf {
+		t.Error("caller is not a leaf")
+	}
+}
+
+func TestSyncPropagation(t *testing.T) {
+	r := analyze(t, `
+sem s;
+func locks() { P(s); V(s); }
+func indirect() { locks(); }
+func pure(x int) int { return x; }
+func main() { indirect(); var v = pure(1); }
+`)
+	if !r.Summaries["locks"].UsesSync {
+		t.Error("locks uses sync")
+	}
+	if !r.Summaries["indirect"].UsesSync {
+		t.Error("sync must propagate through calls")
+	}
+	if r.Summaries["pure"].UsesSync {
+		t.Error("pure must not be marked syncing")
+	}
+	if !r.Summaries["main"].UsesSync {
+		t.Error("main calls syncing code")
+	}
+}
+
+func TestStmtCount(t *testing.T) {
+	r := analyze(t, `
+func f() {
+	var a = 1;
+	var b = 2;
+	if (a < b) { a = b; }
+}
+func main() { f(); }
+`)
+	if got := r.Summaries["f"].NumStmts; got != 4 {
+		t.Errorf("f NumStmts = %d, want 4", got)
+	}
+}
+
+func TestArrayGlobalsInSets(t *testing.T) {
+	r := analyze(t, `
+shared buf[8];
+func fill(i int, v int) { buf[i] = v; }
+func sum() int { return buf[0] + buf[1]; }
+func main() { fill(0, 1); var s = sum(); }
+`)
+	if !has(globalNames(r, r.Summaries["fill"].Defined), "buf") {
+		t.Error("fill should define buf")
+	}
+	// a[i]=v also uses buf (partial write).
+	if !has(globalNames(r, r.Summaries["sum"].Used), "buf") {
+		t.Error("sum should use buf")
+	}
+}

@@ -1,0 +1,130 @@
+package lexer
+
+import (
+	"testing"
+
+	"ppd/internal/source"
+	"ppd/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.ErrorList) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	toks := ScanAll(source.NewFile("test.mpl", src), errs)
+	return toks, errs
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanOperatorsAndKeywords(t *testing.T) {
+	toks, errs := scan(t, `func main() { x = a + b*2; if (x >= 10 && !done) { P(s); V(s); } }`)
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected errors: %v", errs.Err())
+	}
+	want := []token.Kind{
+		token.FUNC, token.IDENT, token.LPAREN, token.RPAREN, token.LBRACE,
+		token.IDENT, token.ASSIGN, token.IDENT, token.ADD, token.IDENT, token.MUL, token.INT, token.SEMICOLON,
+		token.IF, token.LPAREN, token.IDENT, token.GEQ, token.INT, token.LAND, token.NOT, token.IDENT, token.RPAREN,
+		token.LBRACE, token.ACQUIRE, token.LPAREN, token.IDENT, token.RPAREN, token.SEMICOLON,
+		token.RELEASE, token.LPAREN, token.IDENT, token.RPAREN, token.SEMICOLON, token.RBRACE,
+		token.RBRACE, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks, errs := scan(t, "x = 1; // line comment\n/* block\ncomment */ y = 2;")
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected errors: %v", errs.Err())
+	}
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.SEMICOLON,
+		token.IDENT, token.ASSIGN, token.INT, token.SEMICOLON, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanString(t *testing.T) {
+	toks, errs := scan(t, `print("hi\n\t\"x\"");`)
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected errors: %v", errs.Err())
+	}
+	if toks[2].Kind != token.STRING {
+		t.Fatalf("token 2 = %v, want STRING", toks[2].Kind)
+	}
+	if got, want := toks[2].Lit, "hi\n\t\"x\""; got != want {
+		t.Errorf("string lit = %q, want %q", got, want)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`x = 1 & 2;`, "did you mean &&"},
+		{`x = 1 | 2;`, "did you mean ||"},
+		{`s = "unterminated`, "unterminated string"},
+		{`/* never closed`, "unterminated block comment"},
+		{"x = $;", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, errs := scan(t, c.src)
+		if errs.ErrCount() == 0 {
+			t.Errorf("%q: expected an error containing %q", c.src, c.want)
+		}
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	file := source.NewFile("p.mpl", "ab = 1;\ncd = 2;\n")
+	errs := &source.ErrorList{}
+	toks := ScanAll(file, errs)
+	// Token "cd" should be at line 2, column 1.
+	pos := file.Position(toks[4].Pos)
+	if pos.Line != 2 || pos.Column != 1 {
+		t.Errorf("cd at %d:%d, want 2:1", pos.Line, pos.Column)
+	}
+}
+
+func TestIdentAtEOF(t *testing.T) {
+	toks, errs := scan(t, "abc")
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected errors: %v", errs.Err())
+	}
+	if toks[0].Kind != token.IDENT || toks[0].Lit != "abc" {
+		t.Errorf("got %v %q, want IDENT abc", toks[0].Kind, toks[0].Lit)
+	}
+	if toks[0+1].Kind != token.EOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestNumberAtEOF(t *testing.T) {
+	toks, _ := scan(t, "42")
+	if toks[0].Kind != token.INT || toks[0].Lit != "42" {
+		t.Errorf("got %v %q, want INT 42", toks[0].Kind, toks[0].Lit)
+	}
+}

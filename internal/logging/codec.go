@@ -1,0 +1,260 @@
+package logging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ppd/internal/ast"
+	"ppd/internal/eblock"
+)
+
+// Binary log format: a small header, then per book a record count followed
+// by length-prefixed records. All integers are varints except the magic.
+// The format exists so the execution and debugging phases can be separate
+// OS processes (the paper's structure), exchanging logs through files.
+
+const magic = 0x50504431 // "PPD1"
+
+// Write encodes the program log.
+func (pl *ProgramLog) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], magic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(pl.Books)))
+	for _, b := range pl.Books {
+		putUvarint(bw, uint64(b.PID))
+		putUvarint(bw, uint64(len(b.Records)))
+		for _, r := range b.Records {
+			writeRecord(bw, r)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a program log written by Write.
+func Read(r io.Reader) (*ProgramLog, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("logging: short header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[:]) != magic {
+		return nil, fmt.Errorf("logging: bad magic %x", hdr)
+	}
+	nBooks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	pl := NewProgramLog()
+	for i := uint64(0); i < nBooks; i++ {
+		pid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		book := pl.BookFor(int(pid))
+		nRecs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nRecs; j++ {
+			rec, err := readRecord(br)
+			if err != nil {
+				return nil, fmt.Errorf("logging: book %d record %d: %w", pid, j, err)
+			}
+			book.Append(rec)
+		}
+	}
+	return pl, nil
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeValue(w *bufio.Writer, v Value) {
+	if v.Arr == nil {
+		w.WriteByte(0)
+		putVarint(w, v.Int)
+		return
+	}
+	w.WriteByte(1)
+	putUvarint(w, uint64(len(v.Arr)))
+	for _, x := range v.Arr {
+		putVarint(w, x)
+	}
+}
+
+func readValue(r *bufio.Reader) (Value, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	if tag == 0 {
+		x, err := binary.ReadVarint(r)
+		return Value{Int: x}, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Value{}, err
+	}
+	arr := make([]int64, n)
+	for i := range arr {
+		if arr[i], err = binary.ReadVarint(r); err != nil {
+			return Value{}, err
+		}
+	}
+	return Value{Arr: arr}, nil
+}
+
+func writeValMap(w *bufio.Writer, p Pairs) {
+	putUvarint(w, uint64(len(p)))
+	for i := range p {
+		putUvarint(w, uint64(p[i].Idx))
+		writeValue(w, p[i].Val)
+	}
+}
+
+func readValMap(r *bufio.Reader) (Pairs, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := make(Pairs, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readValue(r)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, VarVal{Idx: int(k), Val: v})
+	}
+	return p, nil
+}
+
+func writeIntSlice(w *bufio.Writer, s []int) {
+	putUvarint(w, uint64(len(s)))
+	for _, x := range s {
+		putUvarint(w, uint64(x))
+	}
+}
+
+func readIntSlice(r *bufio.Reader) ([]int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	s := make([]int, n)
+	for i := range s {
+		x, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		s[i] = int(x)
+	}
+	return s, nil
+}
+
+func writeRecord(w *bufio.Writer, r *Record) {
+	w.WriteByte(byte(r.Kind))
+	putUvarint(w, uint64(r.Block))
+	putUvarint(w, uint64(r.Stmt))
+	w.WriteByte(byte(r.Op))
+	putVarint(w, int64(r.Obj))
+	putUvarint(w, r.Gsn)
+	putUvarint(w, r.FromGsn)
+	putVarint(w, r.Value)
+	writeValMap(w, r.Locals)
+	writeValMap(w, r.Globals)
+	if r.Ret != nil {
+		w.WriteByte(1)
+		writeValue(w, *r.Ret)
+	} else {
+		w.WriteByte(0)
+	}
+	writeIntSlice(w, r.Reads)
+	writeIntSlice(w, r.Writes)
+}
+
+func readRecord(br *bufio.Reader) (*Record, error) {
+	r := &Record{}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	r.Kind = Kind(kind)
+	blk, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	r.Block = eblock.ID(blk)
+	stmt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	r.Stmt = ast.StmtID(stmt)
+	op, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	r.Op = SyncOp(op)
+	obj, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	r.Obj = int(obj)
+	if r.Gsn, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if r.FromGsn, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if r.Value, err = binary.ReadVarint(br); err != nil {
+		return nil, err
+	}
+	if r.Locals, err = readValMap(br); err != nil {
+		return nil, err
+	}
+	if r.Globals, err = readValMap(br); err != nil {
+		return nil, err
+	}
+	hasRet, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if hasRet == 1 {
+		v, err := readValue(br)
+		if err != nil {
+			return nil, err
+		}
+		r.Ret = &v
+	}
+	if r.Reads, err = readIntSlice(br); err != nil {
+		return nil, err
+	}
+	if r.Writes, err = readIntSlice(br); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,321 @@
+// Package logging defines the execution-phase log (§3.2.2, §5.1): prelogs,
+// postlogs, the extra shared-variable prelogs of §5.5, and synchronization
+// records. There is one log book per process (§5.6); the books are the only
+// runtime artifact the debugging phase needs besides the static files.
+//
+// Log records are small by design — that is the paper's whole point. A
+// prelog holds the values of the variables the e-block may read; a postlog
+// holds the variables it may have written plus the return value; sync
+// records hold the pairing information (global sequence numbers) from which
+// the parallel dynamic graph reconstructs synchronization edges, plus the
+// per-internal-edge shared READ/WRITE sets race detection consumes.
+package logging
+
+import (
+	"fmt"
+	"iter"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/eblock"
+)
+
+// Value is a logged variable value: a scalar or an array snapshot.
+type Value struct {
+	Int int64
+	Arr []int64 // non-nil for arrays (cloned at logging time)
+}
+
+// IsArray reports whether the value is an array snapshot.
+func (v Value) IsArray() bool { return v.Arr != nil }
+
+// Clone deep-copies the value.
+func (v Value) Clone() Value {
+	if v.Arr == nil {
+		return v
+	}
+	arr := make([]int64, len(v.Arr))
+	copy(arr, v.Arr)
+	return Value{Arr: arr}
+}
+
+func (v Value) String() string {
+	if v.Arr != nil {
+		parts := make([]string, len(v.Arr))
+		for i, x := range v.Arr {
+			parts[i] = fmt.Sprintf("%d", x)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// VarVal is one logged (variable, value) binding.
+type VarVal struct {
+	Idx int // frame slot or GlobalID
+	Val Value
+}
+
+// Pairs is a compact ordered list of variable bindings. Prelogs and
+// postlogs are written on every e-block boundary, so their representation
+// is a slice rather than a map: one allocation per record, cache-friendly
+// iteration, and the keys are small dense integers anyway.
+type Pairs []VarVal
+
+// Len returns the number of bindings.
+func (p Pairs) Len() int { return len(p) }
+
+// Get looks up the value bound to idx.
+func (p Pairs) Get(idx int) (Value, bool) {
+	for i := range p {
+		if p[i].Idx == idx {
+			return p[i].Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// Set binds idx to v, replacing any existing binding.
+func (p *Pairs) Set(idx int, v Value) {
+	for i := range *p {
+		if (*p)[i].Idx == idx {
+			(*p)[i].Val = v
+			return
+		}
+	}
+	*p = append(*p, VarVal{Idx: idx, Val: v})
+}
+
+// All iterates the bindings in insertion order.
+func (p Pairs) All() iter.Seq2[int, Value] {
+	return func(yield func(int, Value) bool) {
+		for i := range p {
+			if !yield(p[i].Idx, p[i].Val) {
+				return
+			}
+		}
+	}
+}
+
+// Clone deep-copies the bindings.
+func (p Pairs) Clone() Pairs {
+	out := make(Pairs, len(p))
+	for i := range p {
+		out[i] = VarVal{Idx: p[i].Idx, Val: p[i].Val.Clone()}
+	}
+	return out
+}
+
+// Kind discriminates log records.
+type Kind uint8
+
+// Log record kinds.
+const (
+	RecPrelog   Kind = iota // e-block entry: USED values
+	RecPostlog              // e-block exit: DEFINED globals + return value
+	RecShPrelog             // sync-unit start: shared values that may be read
+	RecSync                 // synchronization event
+	RecStart                // process start (fromGsn = spawner's sync gsn)
+	RecExit                 // process exit (flushes the last internal edge)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RecPrelog:
+		return "prelog"
+	case RecPostlog:
+		return "postlog"
+	case RecShPrelog:
+		return "shprelog"
+	case RecSync:
+		return "sync"
+	case RecStart:
+		return "start"
+	case RecExit:
+		return "exit"
+	}
+	return "?"
+}
+
+// Exit statuses recorded in RecExit's Value field, so the debugging phase
+// can tell how each process ended without the VM present.
+const (
+	ExitClean       int64 = 0
+	ExitBlockedSem  int64 = 1
+	ExitBlockedSend int64 = 2
+	ExitBlockedRecv int64 = 3
+	ExitFailed      int64 = 4
+	ExitBreak       int64 = 5 // halted at a breakpoint while runnable
+)
+
+// SyncOp identifies the operation of a RecSync record.
+type SyncOp uint8
+
+// Synchronization operations.
+const (
+	OpP SyncOp = iota + 1
+	OpV
+	OpSend
+	OpRecv
+	OpUnblock // sender unblocked by a receiver taking its message
+	OpSpawn
+)
+
+func (o SyncOp) String() string {
+	switch o {
+	case OpP:
+		return "P"
+	case OpV:
+		return "V"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpUnblock:
+		return "unblock"
+	case OpSpawn:
+		return "spawn"
+	}
+	return "?"
+}
+
+// Record is one log entry. Which fields are meaningful depends on Kind.
+type Record struct {
+	Kind Kind
+
+	// Block identifies the e-block for prelog/postlog records.
+	Block eblock.ID
+
+	// Stmt is the statement at which the record was generated (the sync
+	// operation, the call site of a loop header, ...). ast.NoStmt for
+	// function-entry prelogs.
+	Stmt ast.StmtID
+
+	// Locals binds frame slots to values (prelogs: parameters and, for loop
+	// blocks, used locals; postlogs of loop blocks: defined locals).
+	Locals Pairs
+
+	// Globals binds GlobalIDs to values.
+	Globals Pairs
+
+	// Ret is the e-block's return value (function postlogs only).
+	Ret *Value
+
+	// --- RecSync / RecStart fields ---
+
+	Op      SyncOp
+	Obj     int    // GlobalID of the semaphore/channel; spawn: child PID
+	Gsn     uint64 // global sequence number of this event
+	FromGsn uint64 // causal source event (V for an unblocked/enabled P,
+	// send for recv, recv for sender-unblock, spawn for child start)
+	Value int64 // transferred value (send/recv), semaphore count after op,
+	// or spawned function index (OpSpawn)
+
+	// Reads/Writes are the shared variables (GlobalIDs) read/written on the
+	// internal edge that this sync event terminates (§6.3-§6.4 READ_SET /
+	// WRITE_SET). Present on RecSync, RecStart (empty) and RecExit.
+	Reads  []int
+	Writes []int
+}
+
+// Book is one process's log, in generation order.
+type Book struct {
+	PID     int
+	Records []*Record
+}
+
+// Append adds a record.
+func (b *Book) Append(r *Record) { b.Records = append(b.Records, r) }
+
+// Len returns the number of records.
+func (b *Book) Len() int { return len(b.Records) }
+
+// ProgramLog is the set of per-process books for one execution.
+type ProgramLog struct {
+	Books []*Book // indexed by PID
+}
+
+// NewProgramLog returns an empty program log.
+func NewProgramLog() *ProgramLog { return &ProgramLog{} }
+
+// BookFor returns (creating if needed) the book for a PID.
+func (pl *ProgramLog) BookFor(pid int) *Book {
+	for len(pl.Books) <= pid {
+		pl.Books = append(pl.Books, &Book{PID: len(pl.Books)})
+	}
+	return pl.Books[pid]
+}
+
+// NumProcs returns the number of processes that logged.
+func (pl *ProgramLog) NumProcs() int { return len(pl.Books) }
+
+// SizeBytes estimates the log's size as encoded (the E2 metric).
+func (pl *ProgramLog) SizeBytes() int {
+	total := 0
+	for _, b := range pl.Books {
+		for _, r := range b.Records {
+			total += r.sizeBytes()
+		}
+	}
+	return total
+}
+
+func (r *Record) sizeBytes() int {
+	// Fixed header: kind, block, stmt, op, obj, gsn, fromGsn, value.
+	n := 1 + 4 + 4 + 1 + 4 + 8 + 8 + 8
+	for i := range r.Locals {
+		n += 4 + valSize(r.Locals[i].Val)
+	}
+	for i := range r.Globals {
+		n += 4 + valSize(r.Globals[i].Val)
+	}
+	if r.Ret != nil {
+		n += valSize(*r.Ret)
+	}
+	n += 4 * (len(r.Reads) + len(r.Writes))
+	return n
+}
+
+func valSize(v Value) int {
+	if v.Arr != nil {
+		return 4 + 8*len(v.Arr)
+	}
+	return 8
+}
+
+// String renders a record compactly for debugging and golden tests.
+func (r *Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", r.Kind)
+	switch r.Kind {
+	case RecPrelog, RecPostlog:
+		fmt.Fprintf(&b, " blk=%d", r.Block)
+	case RecShPrelog:
+		fmt.Fprintf(&b, " s%d", r.Stmt)
+	case RecSync:
+		fmt.Fprintf(&b, " %s obj=%d gsn=%d", r.Op, r.Obj, r.Gsn)
+		if r.FromGsn != 0 {
+			fmt.Fprintf(&b, " from=%d", r.FromGsn)
+		}
+	case RecStart:
+		fmt.Fprintf(&b, " from=%d", r.FromGsn)
+	}
+	if r.Locals.Len() > 0 {
+		fmt.Fprintf(&b, " locals=%s", pairsString(r.Locals))
+	}
+	if r.Globals.Len() > 0 {
+		fmt.Fprintf(&b, " globals=%s", pairsString(r.Globals))
+	}
+	if r.Ret != nil {
+		fmt.Fprintf(&b, " ret=%s", r.Ret)
+	}
+	return b.String()
+}
+
+func pairsString(p Pairs) string {
+	parts := make([]string, len(p))
+	for i := range p {
+		parts[i] = fmt.Sprintf("%d:%s", p[i].Idx, p[i].Val)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,250 @@
+package logging
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppd/internal/ast"
+	"ppd/internal/eblock"
+)
+
+func sampleLog() *ProgramLog {
+	ret := Value{Int: 99}
+	pl := NewProgramLog()
+	b0 := pl.BookFor(0)
+	b0.Append(&Record{Kind: RecStart})
+	b0.Append(&Record{
+		Kind:  RecPrelog,
+		Block: 2,
+		Locals: Pairs{
+			{Idx: 0, Val: Value{Int: 7}},
+			{Idx: 3, Val: Value{Arr: []int64{1, -2, 3}}},
+		},
+		Globals: Pairs{{Idx: 1, Val: Value{Int: -5}}},
+	})
+	b0.Append(&Record{
+		Kind: RecSync, Op: OpSend, Obj: 4, Stmt: ast.StmtID(9),
+		Gsn: 12, FromGsn: 3, Value: -77,
+		Reads: []int{0, 2}, Writes: []int{2},
+	})
+	b0.Append(&Record{Kind: RecShPrelog, Stmt: 5, Globals: Pairs{{Idx: 0, Val: Value{Int: 1}}}})
+	b0.Append(&Record{Kind: RecPostlog, Block: 2, Ret: &ret,
+		Globals: Pairs{{Idx: 1, Val: Value{Int: 6}}}})
+	b0.Append(&Record{Kind: RecExit, Reads: []int{1}})
+
+	b1 := pl.BookFor(1)
+	b1.Append(&Record{Kind: RecStart, FromGsn: 2})
+	b1.Append(&Record{Kind: RecSync, Op: OpRecv, Obj: 4, Gsn: 13, FromGsn: 12, Value: -77})
+	b1.Append(&Record{Kind: RecExit})
+	return pl
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	pl := sampleLog()
+	var buf bytes.Buffer
+	if err := pl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs() != pl.NumProcs() {
+		t.Fatalf("procs = %d, want %d", got.NumProcs(), pl.NumProcs())
+	}
+	for pid := range pl.Books {
+		want, have := pl.Books[pid], got.Books[pid]
+		if len(want.Records) != len(have.Records) {
+			t.Fatalf("book %d: %d records, want %d", pid, len(have.Records), len(want.Records))
+		}
+		for i := range want.Records {
+			if !reflect.DeepEqual(want.Records[i], have.Records[i]) {
+				t.Errorf("book %d record %d:\n got %+v\nwant %+v", pid, i, have.Records[i], want.Records[i])
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(strings.NewReader("not a ppd log at all")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated valid stream.
+	var buf bytes.Buffer
+	if err := sampleLog().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+// Property: encode→decode is the identity on randomly generated records.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	genValue := func() Value {
+		if rng.Intn(3) == 0 {
+			arr := make([]int64, 1+rng.Intn(4)) // decode yields nil for len-0; Value{Arr:[]}≡array semantics need ≥1
+
+			for i := range arr {
+				arr[i] = rng.Int63n(1000) - 500
+			}
+			return Value{Arr: arr}
+		}
+		return Value{Int: rng.Int63n(1<<40) - (1 << 39)}
+	}
+	genPairs := func() Pairs {
+		n := rng.Intn(4)
+		if n == 0 {
+			return nil // decode yields nil for empty sets
+		}
+		p := make(Pairs, 0, n)
+		for i := 0; i < n; i++ {
+			p = append(p, VarVal{Idx: i * 2, Val: genValue()})
+		}
+		return p
+	}
+	prop := func(seed uint8) bool {
+		pl := NewProgramLog()
+		nBooks := 1 + int(seed)%3
+		for pid := 0; pid < nBooks; pid++ {
+			b := pl.BookFor(pid)
+			nRecs := rng.Intn(6)
+			for i := 0; i < nRecs; i++ {
+				r := &Record{
+					Kind:    Kind(rng.Intn(6)),
+					Block:   eblock.ID(rng.Intn(8)),
+					Stmt:    ast.StmtID(rng.Intn(100)),
+					Op:      SyncOp(rng.Intn(7)),
+					Obj:     rng.Intn(10) - 1,
+					Gsn:     uint64(rng.Intn(1000)),
+					FromGsn: uint64(rng.Intn(1000)),
+					Value:   rng.Int63n(2000) - 1000,
+					Locals:  genPairs(),
+					Globals: genPairs(),
+				}
+				if rng.Intn(2) == 0 {
+					v := genValue()
+					r.Ret = &v
+				}
+				if rng.Intn(2) == 0 {
+					r.Reads = []int{rng.Intn(5), 5 + rng.Intn(5)}
+					r.Writes = []int{rng.Intn(5)}
+				}
+				b.Append(r)
+			}
+		}
+		var buf bytes.Buffer
+		if err := pl.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(pl, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairsSemantics(t *testing.T) {
+	var p Pairs
+	if _, ok := p.Get(0); ok {
+		t.Error("empty Get should miss")
+	}
+	p.Set(3, Value{Int: 1})
+	p.Set(1, Value{Int: 2})
+	p.Set(3, Value{Int: 9}) // replace
+	if p.Len() != 2 {
+		t.Fatalf("len = %d, want 2", p.Len())
+	}
+	v, ok := p.Get(3)
+	if !ok || v.Int != 9 {
+		t.Errorf("Get(3) = %v,%t", v, ok)
+	}
+	// All preserves insertion order.
+	var order []int
+	for idx := range p.All() {
+		order = append(order, idx)
+	}
+	if order[0] != 3 || order[1] != 1 {
+		t.Errorf("order = %v", order)
+	}
+	// Clone is deep for arrays.
+	p.Set(5, Value{Arr: []int64{1, 2}})
+	c := p.Clone()
+	cv, _ := c.Get(5)
+	cv.Arr[0] = 42
+	orig, _ := p.Get(5)
+	if orig.Arr[0] == 42 {
+		t.Error("Clone shares array storage")
+	}
+}
+
+func TestValueCloneAndString(t *testing.T) {
+	v := Value{Arr: []int64{4, 5}}
+	c := v.Clone()
+	c.Arr[0] = 9
+	if v.Arr[0] == 9 {
+		t.Error("Clone shares storage")
+	}
+	if v.String() != "[4 5]" {
+		t.Errorf("array String = %q", v.String())
+	}
+	if (Value{Int: -3}).String() != "-3" {
+		t.Error("scalar String wrong")
+	}
+	if !v.IsArray() || (Value{}).IsArray() {
+		t.Error("IsArray wrong")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	pl := sampleLog()
+	got := pl.Books[0].Records[1].String()
+	for _, want := range []string{"prelog", "blk=2", "locals={0:7,3:[1 -2 3]}", "globals={1:-5}"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("record string %q missing %q", got, want)
+		}
+	}
+	sync := pl.Books[0].Records[2].String()
+	for _, want := range []string{"sync send", "obj=4", "gsn=12", "from=3"} {
+		if !strings.Contains(sync, want) {
+			t.Errorf("sync string %q missing %q", sync, want)
+		}
+	}
+}
+
+func TestSizeBytesAccounting(t *testing.T) {
+	pl := sampleLog()
+	total := pl.SizeBytes()
+	if total <= 0 {
+		t.Fatal("size must be positive")
+	}
+	// Adding a record strictly increases size.
+	pl.Books[0].Append(&Record{Kind: RecExit})
+	if pl.SizeBytes() <= total {
+		t.Error("size must grow with records")
+	}
+}
+
+func TestBookForGrowsSparsely(t *testing.T) {
+	pl := NewProgramLog()
+	b := pl.BookFor(3)
+	if b.PID != 3 || pl.NumProcs() != 4 {
+		t.Errorf("BookFor(3): pid=%d procs=%d", b.PID, pl.NumProcs())
+	}
+	if pl.BookFor(1).PID != 1 {
+		t.Error("intermediate book wrong")
+	}
+}

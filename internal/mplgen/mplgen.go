@@ -1,0 +1,355 @@
+// Package mplgen generates random, well-formed, terminating MPL programs
+// for differential testing: the same program must behave identically under
+// bare execution, incremental logging, and full tracing; every logged
+// interval must emulate back to the same events; restoration must
+// reconstruct the final state; and the two race detectors must agree.
+//
+// Generated programs are failure-free by construction (division and modulo
+// only by non-zero constants, array indices reduced into range, loops over
+// fresh bounded counters, call graphs acyclic) and — in parallel mode —
+// deadlock-free by construction (balanced P/V on a mutex, one V(done) per
+// spawned worker matched by main's joins, channel sends paired with
+// receives).
+package mplgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Funcs        int // helper functions (call DAG, acyclic)
+	Globals      int // scalar globals
+	MaxStmts     int // statements per block
+	MaxDepth     int // nesting depth of if/while
+	MaxExprDepth int
+	Parallel     bool // spawn workers with semaphores and a channel
+	Workers      int  // spawned workers when Parallel
+	Racy         bool // omit the workers' mutex: seeded data races
+}
+
+// DefaultConfig is a moderate program shape.
+func DefaultConfig() Config {
+	return Config{
+		Funcs: 3, Globals: 3, MaxStmts: 5, MaxDepth: 2, MaxExprDepth: 3,
+		Parallel: false, Workers: 0,
+	}
+}
+
+// ParallelConfig adds processes, a mutex, and a channel.
+func ParallelConfig() Config {
+	c := DefaultConfig()
+	c.Parallel = true
+	c.Workers = 3
+	return c
+}
+
+// RacyConfig is ParallelConfig without the mutex: every generated program
+// contains real data races for the detectors to find.
+func RacyConfig() Config {
+	c := ParallelConfig()
+	c.Racy = true
+	return c
+}
+
+const arrLen = 8
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   strings.Builder
+
+	arity      []int    // parameter count per helper, fixed up front
+	locals     []string // in scope at the current point (readable)
+	assignable []string // locals that statements may overwrite (loop
+	// counters are excluded so bounded loops stay bounded)
+	nextLocal int
+	curFunc   int // index; helpers may call only strictly larger indices
+	indent    int
+}
+
+// Generate produces the program text for a seed and config. The same
+// (seed, config) always yields the same program.
+func Generate(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.program()
+	return g.b.String()
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) program() {
+	g.arity = make([]int, g.cfg.Funcs)
+	for i := range g.arity {
+		g.arity[i] = g.rng.Intn(3)
+	}
+	for i := 0; i < g.cfg.Globals; i++ {
+		g.w("shared g%d = %d;", i, g.rng.Intn(20))
+	}
+	g.w("shared arr[%d];", arrLen)
+	if g.cfg.Parallel {
+		g.w("sem mtx = 1;")
+		g.w("sem done = 0;")
+		g.w("chan ch[%d];", 2+g.rng.Intn(3))
+	}
+	g.b.WriteByte('\n')
+
+	// Helper functions: f(i) may call f(j) for j > i only.
+	for i := 0; i < g.cfg.Funcs; i++ {
+		g.fn(i)
+	}
+	if g.cfg.Parallel {
+		g.worker()
+	}
+	g.mainFn()
+}
+
+func (g *gen) fresh() string {
+	name := fmt.Sprintf("x%d", g.nextLocal)
+	g.nextLocal++
+	g.locals = append(g.locals, name)
+	g.assignable = append(g.assignable, name)
+	return name
+}
+
+// freshCounter declares a loop counter: readable but never a random
+// assignment target, so generated loops always terminate.
+func (g *gen) freshCounter() string {
+	name := fmt.Sprintf("x%d", g.nextLocal)
+	g.nextLocal++
+	g.locals = append(g.locals, name)
+	return name
+}
+
+// scoped runs body with block scoping: locals declared inside disappear
+// afterwards, matching MPL's lexical scope.
+func (g *gen) scoped(body func()) {
+	nl, na := len(g.locals), len(g.assignable)
+	body()
+	g.locals = g.locals[:nl]
+	g.assignable = g.assignable[:na]
+}
+
+func (g *gen) fn(idx int) {
+	g.curFunc = idx
+	g.locals, g.assignable = nil, nil
+	g.nextLocal = 0
+	nParams := g.arity[idx]
+	params := make([]string, nParams)
+	for i := range params {
+		p := fmt.Sprintf("p%d", i)
+		params[i] = p + " int"
+		g.locals = append(g.locals, p)
+		g.assignable = append(g.assignable, p)
+	}
+	g.w("func f%d(%s) int {", idx, strings.Join(params, ", "))
+	g.indent++
+	g.block(g.cfg.MaxDepth)
+	g.w("return %s;", g.expr(g.cfg.MaxExprDepth))
+	g.indent--
+	g.w("}")
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) worker() {
+	g.curFunc = -1 // workers may call any helper
+	g.locals, g.assignable = []string{"id"}, nil
+	g.nextLocal = 0
+	g.w("func worker(id int) {")
+	g.indent++
+	cnt := g.freshCounter()
+	g.w("var %s = 0;", cnt)
+	g.w("while (%s < %d) {", cnt, 2+g.rng.Intn(3))
+	g.indent++
+	// Updates are commutative (sums of per-worker constants) so the final
+	// state is schedule-invariant: differential runs with different
+	// instruction counts take different interleavings, and only
+	// order-independent results can be compared across them. The mutex is
+	// still load-bearing — without it the read-modify-write would lose
+	// updates nondeterministically.
+	if !g.cfg.Racy {
+		g.w("P(mtx);")
+	}
+	g.w("g0 = g0 + id;")
+	if g.cfg.Globals > 1 {
+		g.w("g1 = g1 + id * 3;")
+	}
+	if !g.cfg.Racy {
+		g.w("V(mtx);")
+	}
+	g.w("%s = %s + 1;", cnt, cnt)
+	g.indent--
+	g.w("}")
+	g.w("send(ch, id * 10);")
+	g.w("V(done);")
+	g.indent--
+	g.w("}")
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) mainFn() {
+	g.curFunc = -1
+	g.locals, g.assignable = nil, nil
+	g.nextLocal = 0
+	g.w("func main() {")
+	g.indent++
+	g.block(g.cfg.MaxDepth)
+	if g.cfg.Parallel {
+		for i := 0; i < g.cfg.Workers; i++ {
+			g.w("spawn worker(%d);", i+1)
+		}
+		sum := g.fresh()
+		g.w("var %s = 0;", sum)
+		i := g.freshCounter()
+		g.w("var %s = 0;", i)
+		g.w("while (%s < %d) {", i, g.cfg.Workers)
+		g.indent++
+		g.w("%s = %s + recv(ch);", sum, sum)
+		g.w("P(done);")
+		g.w("%s = %s + 1;", i, i)
+		g.indent--
+		g.w("}")
+		g.w("print(\"join=\", %s);", sum)
+	}
+	g.block(g.cfg.MaxDepth)
+	for i := 0; i < g.cfg.Globals; i++ {
+		g.w("print(\"g%d=\", g%d);", i, i)
+	}
+	g.w("print(\"a=\", arr[0], arr[%d]);", arrLen-1)
+	g.indent--
+	g.w("}")
+}
+
+func (g *gen) block(depth int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 3: // declare a local (initializer generated first so it
+		// cannot reference the variable being declared)
+		init := g.exprPre(g.cfg.MaxExprDepth)
+		g.w("var %s = %s;", g.fresh(), init)
+	case choice < 5 && len(g.assignable) > 0: // assign a local
+		g.w("%s = %s;", g.pick(g.assignable), g.expr(g.cfg.MaxExprDepth))
+	case choice < 6: // assign a global
+		g.w("g%d = %s;", g.rng.Intn(g.cfg.Globals), g.expr(g.cfg.MaxExprDepth))
+	case choice < 7: // array element write, index reduced into range
+		g.w("arr[(%s %% %d + %d) %% %d] = %s;",
+			g.expr(1), arrLen, arrLen, arrLen, g.expr(g.cfg.MaxExprDepth))
+	case choice < 8 && depth > 0: // conditional
+		g.w("if (%s) {", g.boolExpr(2))
+		g.indent++
+		g.scoped(func() { g.block(depth - 1) })
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.scoped(func() { g.block(depth - 1) })
+			g.indent--
+		}
+		g.w("}")
+	case choice < 9 && depth > 0: // bounded loop over a fresh counter
+		cnt := g.freshCounter()
+		g.w("var %s = 0;", cnt)
+		g.w("while (%s < %d) {", cnt, 1+g.rng.Intn(6))
+		g.indent++
+		g.scoped(func() { g.block(depth - 1) })
+		g.w("%s = %s + 1;", cnt, cnt)
+		g.indent--
+		g.w("}")
+	default:
+		g.w("print(%s);", g.expr(2))
+	}
+}
+
+func (g *gen) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+// exprPre is like expr but used in declarations, where a call is a common
+// and interesting initializer.
+func (g *gen) exprPre(depth int) string {
+	if depth > 0 && g.callTarget() >= 0 && g.rng.Intn(3) == 0 {
+		return g.call(depth)
+	}
+	return g.expr(depth)
+}
+
+// callTarget returns a callable helper index, or -1.
+func (g *gen) callTarget() int {
+	lo := g.curFunc + 1 // helpers call strictly later helpers; -1 means any
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= g.cfg.Funcs {
+		return -1
+	}
+	return lo + g.rng.Intn(g.cfg.Funcs-lo)
+}
+
+func (g *gen) call(depth int) string {
+	t := g.callTarget()
+	args := make([]string, g.arity[t])
+	for i := range args {
+		args[i] = g.expr(depth - 1)
+	}
+	return fmt.Sprintf("f%d(%s)", t, strings.Join(args, ", "))
+}
+
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4: // division by a non-zero constant only
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	case 5: // modulo by a non-zero constant only
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	default:
+		return fmt.Sprintf("(-%s)", g.atom())
+	}
+}
+
+func (g *gen) atom() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		if len(g.locals) > 0 {
+			return g.pick(g.locals)
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(50))
+	case 1:
+		return fmt.Sprintf("g%d", g.rng.Intn(g.cfg.Globals))
+	case 2:
+		return fmt.Sprintf("arr[%d]", g.rng.Intn(arrLen))
+	default:
+		return fmt.Sprintf("%d", g.rng.Intn(50))
+	}
+}
+
+func (g *gen) boolExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		return fmt.Sprintf("%s %s %s", g.expr(1), ops[g.rng.Intn(len(ops))], g.expr(1))
+	}
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	}
+	return fmt.Sprintf("(%s || %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+}

@@ -1,0 +1,318 @@
+// Package parallel builds the parallel dynamic program dependence graph
+// (§6.1) from per-process logs: synchronization nodes, synchronization
+// edges (§6.2), and internal edges — one per executed synchronization unit,
+// carrying the shared-variable READ/WRITE sets recorded at run time.
+//
+// It implements Lamport's happened-before partial order (§6's "→" operator)
+// with vector clocks, giving O(P) comparisons between events, and exposes
+// the ordering queries race detection (package race) and the controller's
+// cross-process flowback need.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/logging"
+)
+
+// EventID identifies a synchronization node globally.
+type EventID int
+
+// Event is one synchronization node of the parallel dynamic graph.
+type Event struct {
+	ID   EventID
+	PID  int
+	Idx  int // position among the process's sync events
+	Op   logging.SyncOp
+	Kind logging.Kind // RecSync, RecStart, or RecExit
+	Obj  int
+	Stmt ast.StmtID
+	Gsn  uint64
+
+	// From is the causal source event (synchronization edge tail), or -1.
+	From EventID
+
+	// Clock is the event's vector clock (len = number of processes).
+	Clock []int
+}
+
+// InternalEdge is one internal edge: the events of a process between two
+// consecutive synchronization nodes, with the shared variables read and
+// written during it (§6.3's READ_SET/WRITE_SET).
+type InternalEdge struct {
+	ID       int
+	PID      int
+	Start    EventID // the sync node the edge begins at (-1 before RecStart)
+	End      EventID // the sync node that terminated the edge
+	Reads    *bitset.Set
+	Writes   *bitset.Set
+	StartRec int // record index in the process's book where the edge begins
+	EndRec   int
+}
+
+// Graph is the parallel dynamic graph of one execution.
+type Graph struct {
+	Log    *logging.ProgramLog
+	Events []*Event
+	Edges  []*InternalEdge
+
+	// SyncEdges lists (from, to) event pairs (§6.2).
+	SyncEdges [][2]EventID
+
+	byGsn   map[uint64]EventID
+	byProc  [][]EventID // events per process, in order
+	nProcs  int
+	nShared int
+}
+
+// Build constructs the graph from an execution's logs. nShared is the size
+// of the GlobalID space (for the read/write bitsets).
+func Build(pl *logging.ProgramLog, nShared int) *Graph {
+	g := &Graph{
+		Log:     pl,
+		byGsn:   make(map[uint64]EventID),
+		nProcs:  pl.NumProcs(),
+		nShared: nShared,
+	}
+	g.byProc = make([][]EventID, g.nProcs)
+
+	// Pass 1: create events.
+	for pid, book := range pl.Books {
+		var prevEnd EventID = -1
+		startRec := 0
+		for ri, r := range book.Records {
+			switch r.Kind {
+			case logging.RecSync, logging.RecStart, logging.RecExit:
+				ev := &Event{
+					ID:   EventID(len(g.Events)),
+					PID:  pid,
+					Idx:  len(g.byProc[pid]),
+					Op:   r.Op,
+					Kind: r.Kind,
+					Obj:  r.Obj,
+					Stmt: r.Stmt,
+					Gsn:  r.Gsn,
+					From: -1,
+				}
+				g.Events = append(g.Events, ev)
+				g.byProc[pid] = append(g.byProc[pid], ev.ID)
+				if r.Gsn != 0 {
+					g.byGsn[r.Gsn] = ev.ID
+				}
+				// The internal edge this event terminates.
+				edge := &InternalEdge{
+					ID:       len(g.Edges),
+					PID:      pid,
+					Start:    prevEnd,
+					End:      ev.ID,
+					Reads:    bitset.FromSlice(nShared, r.Reads),
+					Writes:   bitset.FromSlice(nShared, r.Writes),
+					StartRec: startRec,
+					EndRec:   ri,
+				}
+				g.Edges = append(g.Edges, edge)
+				prevEnd = ev.ID
+				startRec = ri + 1
+			}
+		}
+	}
+
+	// Pass 2: synchronization edges via FromGsn.
+	for pid, book := range pl.Books {
+		i := 0
+		for _, r := range book.Records {
+			switch r.Kind {
+			case logging.RecSync, logging.RecStart, logging.RecExit:
+				ev := g.Events[g.byProc[pid][i]]
+				i++
+				if r.FromGsn != 0 {
+					if from, ok := g.byGsn[r.FromGsn]; ok {
+						ev.From = from
+						g.SyncEdges = append(g.SyncEdges, [2]EventID{from, ev.ID})
+					}
+				}
+			}
+		}
+	}
+
+	g.computeClocks()
+	return g
+}
+
+// computeClocks assigns vector clocks in a topological sweep. Events are
+// processed in Gsn order (the VM's global sequence numbers are a valid
+// linear extension); Start/Exit records without Gsn are handled in process
+// order.
+func (g *Graph) computeClocks() {
+	// Order: process each process's events in order, but an event with a
+	// From edge needs its source's clock first. Gsn order guarantees
+	// sources come first (FromGsn < Gsn always); Start records have Gsn 0
+	// but their From (the spawn) has a smaller Gsn than any later event.
+	// Simple worklist: iterate until all clocks assigned.
+	assigned := make([]bool, len(g.Events))
+	remaining := len(g.Events)
+	for remaining > 0 {
+		progress := false
+		for pid := 0; pid < g.nProcs; pid++ {
+			for idx, eid := range g.byProc[pid] {
+				ev := g.Events[eid]
+				if assigned[eid] {
+					continue
+				}
+				// Needs: previous event in the process (if any) and the
+				// From source (if any).
+				if idx > 0 && !assigned[g.byProc[pid][idx-1]] {
+					break // process order: can't skip ahead
+				}
+				if ev.From >= 0 && !assigned[ev.From] {
+					break
+				}
+				clock := make([]int, g.nProcs)
+				if idx > 0 {
+					copy(clock, g.Events[g.byProc[pid][idx-1]].Clock)
+				}
+				if ev.From >= 0 {
+					join(clock, g.Events[ev.From].Clock)
+				}
+				clock[pid]++
+				ev.Clock = clock
+				assigned[eid] = true
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			// Cycle (corrupt log); assign zero clocks to break out.
+			for eid, ok := range assigned {
+				if !ok {
+					g.Events[eid].Clock = make([]int, g.nProcs)
+					remaining--
+				}
+			}
+		}
+	}
+}
+
+func join(dst, src []int) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// HappensBefore reports whether event a happened before event b (§6.1's
+// n1 → n2 via vector clocks).
+func (g *Graph) HappensBefore(a, b EventID) bool {
+	if a == b {
+		return false
+	}
+	ea, eb := g.Events[a], g.Events[b]
+	return ea.Clock[ea.PID] <= eb.Clock[ea.PID] && !clockEqual(ea.Clock, eb.Clock)
+}
+
+func clockEqual(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeHB implements §6.1's edge ordering: e1 → e2 iff n1 → n2 where n1 is
+// e1's end node and n2 is e2's start node. A process's first edge has no
+// start node; its events are ordered only through the process's own chain.
+func (g *Graph) EdgeHB(e1, e2 *InternalEdge) bool {
+	if e2.Start < 0 {
+		return false // nothing precedes a process's initial edge
+	}
+	if e1.End == e2.Start {
+		return true // same node: e1 flows directly into e2
+	}
+	return g.HappensBefore(e1.End, e2.Start)
+}
+
+// Simultaneous implements Definition 6.1: neither edge ordered before the
+// other.
+func (g *Graph) Simultaneous(e1, e2 *InternalEdge) bool {
+	return !g.EdgeHB(e1, e2) && !g.EdgeHB(e2, e1)
+}
+
+// EdgesOf returns the internal edges of one process, in order.
+func (g *Graph) EdgesOf(pid int) []*InternalEdge {
+	var out []*InternalEdge
+	for _, e := range g.Edges {
+		if e.PID == pid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NumProcs returns the number of processes.
+func (g *Graph) NumProcs() int { return g.nProcs }
+
+// NumShared returns the shared-variable universe size.
+func (g *Graph) NumShared() int { return g.nShared }
+
+// LastWriterBefore finds, for a read of shared variable gid on edge e, the
+// most recent internal edge of another process that wrote gid and happened
+// before e — the §6.3 cross-process data dependence. Returns nil when no
+// ordered writer exists (the value came from initialization or a race).
+func (g *Graph) LastWriterBefore(e *InternalEdge, gid int) *InternalEdge {
+	var best *InternalEdge
+	for _, cand := range g.Edges {
+		if cand.ID == e.ID || !cand.Writes.Has(gid) {
+			continue
+		}
+		if !g.EdgeHB(cand, e) {
+			continue
+		}
+		if best == nil || g.EdgeHB(best, cand) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// String renders the graph in the style of Fig 6.1 for golden tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for pid := 0; pid < g.nProcs; pid++ {
+		fmt.Fprintf(&sb, "P%d:", pid+1)
+		for _, eid := range g.byProc[pid] {
+			ev := g.Events[eid]
+			switch ev.Kind {
+			case logging.RecStart:
+				fmt.Fprintf(&sb, " start")
+			case logging.RecExit:
+				fmt.Fprintf(&sb, " exit")
+			default:
+				fmt.Fprintf(&sb, " %s", ev.Op)
+			}
+			if ev.From >= 0 {
+				fmt.Fprintf(&sb, "(<-n%d)", ev.From)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	edges := append([][2]EventID(nil), g.SyncEdges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i][0] < edges[j][0] })
+	for _, e := range edges {
+		a, b := g.Events[e[0]], g.Events[e[1]]
+		fmt.Fprintf(&sb, "sync: P%d.%s -> P%d.%s\n", a.PID+1, a.Op, b.PID+1, opOrKind(b))
+	}
+	return sb.String()
+}
+
+func opOrKind(e *Event) string {
+	if e.Kind == logging.RecStart {
+		return "start"
+	}
+	return e.Op.String()
+}

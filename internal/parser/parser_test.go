@@ -1,0 +1,266 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ppd/internal/ast"
+	"ppd/internal/source"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	errs := &source.ErrorList{}
+	prog := ParseString("test.mpl", src, errs)
+	if errs.ErrCount() != 0 {
+		t.Fatalf("unexpected parse errors:\n%v", errs.Err())
+	}
+	return prog
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := parseOK(t, `
+var x = 10;
+shared sv;
+shared arr[8];
+sem mutex = 1;
+chan c;
+chan buf[4];
+func main() {}
+`)
+	if len(prog.Globals) != 6 {
+		t.Fatalf("globals = %d, want 6", len(prog.Globals))
+	}
+	g := prog.Globals
+	if g[2].Type.Kind != ast.TypeArray || g[2].Type.Len != 8 {
+		t.Errorf("arr type = %+v", g[2].Type)
+	}
+	if g[5].Type.Kind != ast.TypeChan || g[5].Type.Len != 4 {
+		t.Errorf("buf type = %+v", g[5].Type)
+	}
+	if g[3].Init == nil {
+		t.Error("sem mutex missing init")
+	}
+}
+
+func TestParseFuncAndStmts(t *testing.T) {
+	prog := parseOK(t, `
+func add(a int, b int) int {
+	return a + b;
+}
+func main() {
+	var x = add(1, 2);
+	var i;
+	for (i = 0; i < 10; i = i + 1) {
+		x = x * 2;
+		if (x > 100) { break; } else { continue; }
+	}
+	while (x > 0) { x = x - 1; }
+	print("x=", x);
+}
+`)
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(prog.Funcs))
+	}
+	add := prog.FuncByName("add")
+	if add == nil || len(add.Params) != 2 || add.Result.Kind != ast.TypeInt {
+		t.Fatalf("add decl wrong: %+v", add)
+	}
+	if prog.NumStmts == 0 {
+		t.Fatal("no statements numbered")
+	}
+	// Statement IDs must be dense 1..NumStmts and all registered.
+	for id := ast.StmtID(1); id <= ast.StmtID(prog.NumStmts); id++ {
+		if prog.StmtByID(id) == nil {
+			t.Errorf("StmtByID(%d) = nil", id)
+		}
+	}
+}
+
+func TestParseParallelConstructs(t *testing.T) {
+	prog := parseOK(t, `
+sem s = 0;
+chan ch;
+func worker(id int) {
+	P(s);
+	send(ch, id * 2);
+	V(s);
+}
+func main() {
+	spawn worker(1);
+	spawn worker(2);
+	var v = recv(ch);
+	print(v);
+}
+`)
+	worker := prog.FuncByName("worker")
+	stmts := ast.Stmts(worker.Body)
+	if len(stmts) != 3 {
+		t.Fatalf("worker stmts = %d, want 3", len(stmts))
+	}
+	if _, ok := stmts[0].(*ast.SemStmt); !ok {
+		t.Errorf("stmt 0 = %T, want SemStmt", stmts[0])
+	}
+	if _, ok := stmts[1].(*ast.SendStmt); !ok {
+		t.Errorf("stmt 1 = %T, want SendStmt", stmts[1])
+	}
+	mainFn := prog.FuncByName("main")
+	mstmts := ast.Stmts(mainFn.Body)
+	if _, ok := mstmts[0].(*ast.SpawnStmt); !ok {
+		t.Errorf("main stmt 0 = %T, want SpawnStmt", mstmts[0])
+	}
+	vd, ok := mstmts[2].(*ast.VarDeclStmt)
+	if !ok {
+		t.Fatalf("main stmt 2 = %T, want VarDeclStmt", mstmts[2])
+	}
+	if _, ok := vd.Init.(*ast.RecvExpr); !ok {
+		t.Errorf("init = %T, want RecvExpr", vd.Init)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := parseOK(t, `func main() { var x = 1 + 2 * 3 - 4 / 2; var b = 1 < 2 && 3 == 3 || false; }`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	x := stmts[0].(*ast.VarDeclStmt)
+	if got, want := ast.ExprString(x.Init), "1+2*3-4/2"; got != want {
+		t.Errorf("expr = %s, want %s", got, want)
+	}
+	// Structure check: top of x's init must be '-'.
+	bin := x.Init.(*ast.BinaryExpr)
+	if bin.Op.String() != "-" {
+		t.Errorf("top op = %s, want -", bin.Op)
+	}
+	b := stmts[1].(*ast.VarDeclStmt)
+	top := b.Init.(*ast.BinaryExpr)
+	if top.Op.String() != "||" {
+		t.Errorf("bool top op = %s, want ||", top.Op)
+	}
+}
+
+func TestParseNestedIfElseChain(t *testing.T) {
+	prog := parseOK(t, `
+func classify(v int) int {
+	if (v > 10) { return 2; }
+	else if (v > 0) { return 1; }
+	else { return 0; }
+}
+func main() { var x = classify(5); }
+`)
+	f := prog.FuncByName("classify")
+	ifs := f.Body.List[0].(*ast.IfStmt)
+	if _, ok := ifs.Else.(*ast.IfStmt); !ok {
+		t.Errorf("else = %T, want *IfStmt", ifs.Else)
+	}
+}
+
+func TestParseArrayOps(t *testing.T) {
+	prog := parseOK(t, `
+shared a[4];
+func main() {
+	a[0] = 1;
+	a[a[0]] = a[0] + 2;
+}
+`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	s1 := stmts[1].(*ast.AssignStmt)
+	if s1.Index == nil {
+		t.Fatal("missing index on array assign")
+	}
+	if got := ast.ExprString(s1.RHS); got != "a[0]+2" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestParseErrorsRecovered(t *testing.T) {
+	errs := &source.ErrorList{}
+	prog := ParseString("bad.mpl", `
+func main() {
+	x = ;
+	y = 2;
+}
+`, errs)
+	if errs.ErrCount() == 0 {
+		t.Fatal("expected parse errors")
+	}
+	// Recovery: the later good statement must still be parsed.
+	found := false
+	for _, s := range ast.Stmts(prog.FuncByName("main").Body) {
+		if a, ok := s.(*ast.AssignStmt); ok && a.LHS.Name == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to parse y = 2")
+	}
+}
+
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`func main( { }`, "expected"},
+		{`var;`, "expected"},
+		{`func main() { if x { } }`, "expected"},
+		{`garbage`, "expected declaration"},
+	}
+	for _, c := range cases {
+		errs := &source.ErrorList{}
+		ParseString("e.mpl", c.src, errs)
+		if errs.ErrCount() == 0 {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		if !strings.Contains(errs.Err().Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", c.src, errs.Err(), c.wantSub)
+		}
+	}
+}
+
+func TestStmtIDsAreSourceOrdered(t *testing.T) {
+	prog := parseOK(t, `
+func main() {
+	var a = 1;
+	if (a > 0) {
+		a = 2;
+	}
+	a = 3;
+}
+`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	for i := 1; i < len(stmts); i++ {
+		if stmts[i].ID() <= stmts[i-1].ID() {
+			t.Errorf("stmt %d has ID %d, not after %d", i, stmts[i].ID(), stmts[i-1].ID())
+		}
+	}
+}
+
+func TestParseEmptyStatement(t *testing.T) {
+	prog := parseOK(t, `func main() { ;; var x = 1; ; }`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	if len(stmts) != 1 {
+		t.Errorf("stmts = %d, want 1", len(stmts))
+	}
+}
+
+func TestStmtStringRendering(t *testing.T) {
+	prog := parseOK(t, `
+sem s; chan c;
+func f(x int) int { return x; }
+func main() {
+	var d = f(1);
+	P(s);
+	V(s);
+	send(c, d+1);
+	spawn f(2);
+	print("v", d);
+}
+`)
+	stmts := ast.Stmts(prog.FuncByName("main").Body)
+	want := []string{"var d = f(1)", "P(s)", "V(s)", "send(c,d+1)", "spawn f(2)", `print("v",d)`}
+	for i, w := range want {
+		if got := ast.StmtString(stmts[i]); got != w {
+			t.Errorf("stmt %d = %q, want %q", i, got, w)
+		}
+	}
+}

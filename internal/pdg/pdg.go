@@ -1,0 +1,524 @@
+// Package pdg builds the paper's static graphs (§4.1, §5.5):
+//
+//   - the static program dependence graph per function — control-dependence
+//     edges (Ferrante/Ottenstein/Warren via the CFG's postdominator tree)
+//     plus data-dependence edges (def-use chains from reaching definitions,
+//     widened with interprocedural call effects);
+//   - the simplified static graph — the subset containing only ENTRY, EXIT,
+//     branch predicates, synchronization operations, and subroutine calls,
+//     connected by flow edges; and
+//   - the synchronization units of Definition 5.1 — for each non-branching
+//     node, the simplified-graph edges reachable without passing through
+//     another non-branching node — together with each unit's statically
+//     computed shared-variable read/write sets, which place and size the
+//     extra shared prelogs of §5.5.
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/cfg"
+	"ppd/internal/dataflow"
+	"ppd/internal/interproc"
+	"ppd/internal/sem"
+)
+
+// DataDep is one static data-dependence edge: the definition of Var at From
+// may reach the use at To. From may be the ENTRY node (value flows in from
+// the caller or from pre-existing global state).
+type DataDep struct {
+	From cfg.NodeID
+	To   cfg.NodeID
+	Var  int // space index
+}
+
+// SimpleNodeKind classifies nodes kept in the simplified static graph.
+type SimpleNodeKind int
+
+// Simplified-graph node kinds.
+const (
+	SimpleEntry SimpleNodeKind = iota
+	SimpleExit
+	SimpleBranch // if/while/for predicate — the only "branching" kind
+	SimpleSync   // P, V, send, recv, spawn
+	SimpleCall   // statement containing a subroutine call
+)
+
+func (k SimpleNodeKind) String() string {
+	switch k {
+	case SimpleEntry:
+		return "ENTRY"
+	case SimpleExit:
+		return "EXIT"
+	case SimpleBranch:
+		return "branch"
+	case SimpleSync:
+		return "sync"
+	case SimpleCall:
+		return "call"
+	}
+	return "?"
+}
+
+// Branching reports whether the kind is a branching node. Everything else
+// (ENTRY, EXIT, sync, call) is non-branching, per Fig 5.3.
+func (k SimpleNodeKind) Branching() bool { return k == SimpleBranch }
+
+// SimpleEdge is one flow edge of the simplified static graph. Interior
+// lists the collapsed ordinary statements (CFG nodes) the edge traverses,
+// in execution order.
+type SimpleEdge struct {
+	ID       int
+	From, To cfg.NodeID
+	Interior []cfg.NodeID
+
+	// Reads/Writes are the shared variables (GlobalIDs) possibly read or
+	// written while traversing this edge, including the target predicate's
+	// reads when To is branching.
+	Reads  *bitset.Set
+	Writes *bitset.Set
+}
+
+// SyncUnit is Definition 5.1's synchronization unit: the simplified-graph
+// edges reachable from Start without passing through another non-branching
+// node, with the union of their shared read/write sets.
+type SyncUnit struct {
+	Start cfg.NodeID // a non-branching simplified node
+	Edges []int      // edge IDs
+	Reads *bitset.Set
+	Write *bitset.Set
+
+	// CrossReads restricts Reads to variables some *other* process may
+	// write — the only values the §5.5 shared prelog must re-supply for
+	// reproducible emulation. Reads a process's own re-execution reproduces
+	// need no log entry.
+	CrossReads *bitset.Set
+}
+
+// Simplified is the simplified static graph of one function.
+type Simplified struct {
+	Kinds map[cfg.NodeID]SimpleNodeKind // kept nodes only
+	Edges []*SimpleEdge
+	Out   map[cfg.NodeID][]int // outgoing edge IDs per kept node
+	Units []*SyncUnit          // in Start order (entry first, then StmtID)
+}
+
+// FuncPDG bundles every static-analysis artifact of one function.
+type FuncPDG struct {
+	Fn       *sem.FuncInfo
+	CFG      *cfg.Graph
+	Space    *dataflow.Space
+	UseDefs  map[ast.StmtID]*dataflow.UseDef // widened with call effects
+	Reaching *dataflow.Reaching
+	DataDeps []DataDep
+	Simple   *Simplified
+
+	// dataDepsTo indexes DataDeps by use node for flowback queries.
+	dataDepsTo map[cfg.NodeID][]DataDep
+}
+
+// Program is the static PDG of the whole program.
+type Program struct {
+	Info       *sem.Info
+	Inter      *interproc.Result
+	Funcs      map[string]*FuncPDG
+	SharedMask *bitset.Set // GlobalIDs that are shared variables
+
+	// WrittenByOthers maps each function to the globals that processes
+	// other than the one executing it may write: the union of every spawn
+	// target's DEFINED set (spawned code can run in many instances), plus
+	// main's DEFINED set for functions reachable from a spawn target.
+	WrittenByOthers map[string]*bitset.Set
+}
+
+// Build runs the whole static-analysis pipeline.
+func Build(info *sem.Info) *Program {
+	return BuildWithFilter(info, true)
+}
+
+// BuildWithFilter optionally disables the cross-write restriction of the
+// shared prelogs (see SyncUnit.CrossReads). Disabling it yields a literal
+// reading of §5.5 — every shared read in a unit is logged — and exists only
+// for the ablation experiment that quantifies what the refinement saves.
+func BuildWithFilter(info *sem.Info, crossWriteFilter bool) *Program {
+	inter := interproc.Analyze(info)
+	p := &Program{
+		Info:       info,
+		Inter:      inter,
+		Funcs:      make(map[string]*FuncPDG),
+		SharedMask: bitset.New(info.NumGlobals()),
+	}
+	for _, id := range info.SharedIDs() {
+		p.SharedMask.Add(id)
+	}
+	if crossWriteFilter {
+		p.computeWrittenByOthers()
+	} else {
+		p.WrittenByOthers = make(map[string]*bitset.Set)
+		for _, fn := range info.FuncList {
+			p.WrittenByOthers[fn.Name()] = p.SharedMask.Clone()
+		}
+	}
+	for _, fn := range info.FuncList {
+		p.Funcs[fn.Name()] = p.buildFunc(fn)
+	}
+	return p
+}
+
+// computeWrittenByOthers derives, per function, the shared globals some
+// concurrently-running process may write (see Program.WrittenByOthers).
+func (p *Program) computeWrittenByOthers() {
+	p.WrittenByOthers = make(map[string]*bitset.Set)
+	targets := p.Inter.SpawnTargets()
+	crossBase := bitset.New(p.Info.NumGlobals())
+	for t := range targets {
+		if s, ok := p.Inter.Summaries[t]; ok {
+			crossBase.UnionWith(s.Defined)
+		}
+	}
+	// Functions reachable from a spawn target through plain calls.
+	reach := make(map[string]bool)
+	var visit func(string)
+	visit = func(fn string) {
+		if reach[fn] {
+			return
+		}
+		reach[fn] = true
+		if s, ok := p.Inter.Summaries[fn]; ok {
+			for _, callee := range s.Callees {
+				if !s.SpawnedOnly[callee] {
+					visit(callee)
+				}
+			}
+		}
+	}
+	for t := range targets {
+		visit(t)
+	}
+	var mainDefined *bitset.Set
+	if m, ok := p.Inter.Summaries["main"]; ok {
+		mainDefined = m.Defined
+	}
+	for _, fn := range p.Info.FuncList {
+		w := crossBase.Clone()
+		if reach[fn.Name()] && mainDefined != nil {
+			w.UnionWith(mainDefined)
+		}
+		w.IntersectWith(p.SharedMask)
+		p.WrittenByOthers[fn.Name()] = w
+	}
+}
+
+func (p *Program) buildFunc(fn *sem.FuncInfo) *FuncPDG {
+	space := p.Inter.Spaces[fn.Name()]
+	g := cfg.Build(fn)
+
+	// Widen a private copy of the UseDefs with interprocedural effects.
+	direct := p.Inter.UseDefs[fn.Name()]
+	uds := make(map[ast.StmtID]*dataflow.UseDef, len(direct))
+	for id, ud := range direct {
+		uds[id] = &dataflow.UseDef{
+			Use:   ud.Use.Clone(),
+			Def:   ud.Def.Clone(),
+			Kill:  ud.Kill.Clone(),
+			Calls: ud.Calls,
+		}
+	}
+	dataflow.ApplyCallEffects(space, uds, p.Inter.Effects())
+
+	reach := dataflow.ComputeReaching(space, g, uds)
+
+	f := &FuncPDG{
+		Fn:         fn,
+		CFG:        g,
+		Space:      space,
+		UseDefs:    uds,
+		Reaching:   reach,
+		dataDepsTo: make(map[cfg.NodeID][]DataDep),
+	}
+	for _, du := range reach.DefUseChains() {
+		dd := DataDep{From: du.Def.Node, To: du.Use, Var: du.Var}
+		f.DataDeps = append(f.DataDeps, dd)
+		f.dataDepsTo[du.Use] = append(f.dataDepsTo[du.Use], dd)
+	}
+	f.Simple = p.buildSimplified(f, direct)
+	return f
+}
+
+// DataDepsTo returns the static data dependences feeding node n.
+func (f *FuncPDG) DataDepsTo(n cfg.NodeID) []DataDep { return f.dataDepsTo[n] }
+
+// CtrlDepsOf returns the branch nodes n is control dependent on.
+func (f *FuncPDG) CtrlDepsOf(n cfg.NodeID) []cfg.NodeID { return f.CFG.CtrlDeps[n] }
+
+// classify determines whether a CFG node is kept in the simplified graph
+// and with what kind. Ordinary assignments and prints collapse into edges.
+func classify(n *cfg.Node) (SimpleNodeKind, bool) {
+	if n.ID == cfg.EntryNode {
+		return SimpleEntry, true
+	}
+	if n.ID == cfg.ExitNode {
+		return SimpleExit, true
+	}
+	s := n.Stmt
+	if s == nil {
+		return 0, false
+	}
+	// Sync operations first: they are unit boundaries even when they also
+	// contain calls (a recv in a call argument, say).
+	sync := false
+	call := false
+	ast.Inspect(s, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.BlockStmt:
+			// Do not descend into nested statements: classification is per
+			// CFG node, and nested statements have their own nodes.
+			return false
+		case *ast.IfStmt, *ast.WhileStmt, *ast.ForStmt:
+			if x != ast.Node(s) {
+				return false
+			}
+			// For the node's own predicate statement, only the condition
+			// expression belongs to it; children statements have own nodes.
+		case *ast.SemStmt, *ast.SendStmt, *ast.SpawnStmt, *ast.RecvExpr:
+			sync = true
+		case *ast.CallExpr:
+			call = true
+		}
+		return true
+	})
+	// Restrict the inspection to this statement's own expressions: for
+	// if/while/for we must not pick up calls in the body (bodies are other
+	// CFG nodes). Inspect above descends into Then/Else/Body, so redo
+	// precisely for predicates.
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		sync, call = exprSyncCall(st.Cond)
+	case *ast.WhileStmt:
+		sync, call = exprSyncCall(st.Cond)
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			sync, call = exprSyncCall(st.Cond)
+		} else {
+			sync, call = false, false
+		}
+	}
+	if _, isBranch := s.(*ast.IfStmt); isBranch {
+		if sync || call {
+			return SimpleCall, true // degenerate: predicate with a call
+		}
+		return SimpleBranch, true
+	}
+	switch s.(type) {
+	case *ast.WhileStmt, *ast.ForStmt:
+		if sync || call {
+			return SimpleCall, true
+		}
+		return SimpleBranch, true
+	}
+	if sync {
+		return SimpleSync, true
+	}
+	if call {
+		return SimpleCall, true
+	}
+	return 0, false
+}
+
+func exprSyncCall(e ast.Expr) (sync, call bool) {
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.RecvExpr:
+			sync = true
+		case *ast.CallExpr:
+			call = true
+		}
+		return true
+	})
+	return sync, call
+}
+
+func (p *Program) buildSimplified(f *FuncPDG, directUDs map[ast.StmtID]*dataflow.UseDef) *Simplified {
+	g := f.CFG
+	s := &Simplified{
+		Kinds: make(map[cfg.NodeID]SimpleNodeKind),
+		Out:   make(map[cfg.NodeID][]int),
+	}
+	for _, n := range g.Nodes {
+		if kind, keep := classify(n); keep {
+			s.Kinds[n.ID] = kind
+		}
+	}
+
+	sharedUse := func(id ast.StmtID) *bitset.Set {
+		out := bitset.New(p.Info.NumGlobals())
+		if ud, ok := directUDs[id]; ok {
+			got := f.Space.GlobalsOnly(ud.Use)
+			got.IntersectWith(p.SharedMask)
+			out.UnionWith(got)
+		}
+		return out
+	}
+	sharedDef := func(id ast.StmtID) *bitset.Set {
+		out := bitset.New(p.Info.NumGlobals())
+		if ud, ok := directUDs[id]; ok {
+			got := f.Space.GlobalsOnly(ud.Def)
+			got.IntersectWith(p.SharedMask)
+			out.UnionWith(got)
+		}
+		return out
+	}
+
+	// Collapse: from each kept node, follow each CFG successor through
+	// non-kept (necessarily single-successor) nodes until the next kept
+	// node, accumulating interior statements and their shared reads/writes.
+	for from := range s.Kinds {
+		for _, succ := range g.Nodes[from].Succs {
+			e := &SimpleEdge{
+				ID:     len(s.Edges),
+				From:   from,
+				Reads:  bitset.New(p.Info.NumGlobals()),
+				Writes: bitset.New(p.Info.NumGlobals()),
+			}
+			cur := succ
+			guard := 0
+			for {
+				if _, kept := s.Kinds[cur]; kept {
+					break
+				}
+				n := g.Nodes[cur]
+				e.Interior = append(e.Interior, cur)
+				if n.Stmt != nil {
+					e.Reads.UnionWith(sharedUse(n.Stmt.ID()))
+					e.Writes.UnionWith(sharedDef(n.Stmt.ID()))
+				}
+				if len(n.Succs) == 0 {
+					// Dead end (unreachable fragment); drop the edge.
+					cur = -1
+					break
+				}
+				cur = n.Succs[0]
+				guard++
+				if guard > len(g.Nodes)+1 {
+					cur = -1 // defensive: malformed interior cycle
+					break
+				}
+			}
+			if cur == -1 {
+				continue
+			}
+			e.To = cur
+			// A branching target's predicate reads occur on entry to the
+			// node, i.e. while still inside this edge's unit.
+			if kind := s.Kinds[cur]; kind.Branching() {
+				if st := g.Nodes[cur].Stmt; st != nil {
+					e.Reads.UnionWith(sharedUse(st.ID()))
+				}
+			}
+			s.Edges = append(s.Edges, e)
+			s.Out[from] = append(s.Out[from], e.ID)
+		}
+	}
+
+	s.Units = p.buildUnits(f, s)
+	return s
+}
+
+// buildUnits computes Definition 5.1 sync units for every non-branching
+// node except EXIT (nothing is reachable from EXIT).
+func (p *Program) buildUnits(f *FuncPDG, s *Simplified) []*SyncUnit {
+	var starts []cfg.NodeID
+	for id, kind := range s.Kinds {
+		if !kind.Branching() && kind != SimpleExit {
+			starts = append(starts, id)
+		}
+	}
+	// Deterministic order: ENTRY first, then by CFG node id.
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	var units []*SyncUnit
+	for _, start := range starts {
+		u := &SyncUnit{
+			Start: start,
+			Reads: bitset.New(p.Info.NumGlobals()),
+			Write: bitset.New(p.Info.NumGlobals()),
+		}
+		// The start node's own direct reads happen at the unit's beginning
+		// (call arguments, send values).
+		if st := f.CFG.Nodes[start].Stmt; st != nil {
+			if ud, ok := p.Inter.UseDefs[f.Fn.Name()][st.ID()]; ok {
+				got := f.Space.GlobalsOnly(ud.Use)
+				got.IntersectWith(p.SharedMask)
+				u.Reads.UnionWith(got)
+				gotW := f.Space.GlobalsOnly(ud.Def)
+				gotW.IntersectWith(p.SharedMask)
+				u.Write.UnionWith(gotW)
+			}
+		}
+		seenEdge := make(map[int]bool)
+		var work []int
+		work = append(work, s.Out[start]...)
+		for len(work) > 0 {
+			eid := work[len(work)-1]
+			work = work[:len(work)-1]
+			if seenEdge[eid] {
+				continue
+			}
+			seenEdge[eid] = true
+			e := s.Edges[eid]
+			u.Edges = append(u.Edges, eid)
+			u.Reads.UnionWith(e.Reads)
+			u.Write.UnionWith(e.Writes)
+			if s.Kinds[e.To].Branching() {
+				work = append(work, s.Out[e.To]...)
+			}
+		}
+		sort.Ints(u.Edges)
+		u.CrossReads = u.Reads.Clone()
+		u.CrossReads.IntersectWith(p.WrittenByOthers[f.Fn.Name()])
+		units = append(units, u)
+	}
+	return units
+}
+
+// UnitAt returns the sync unit starting at the given CFG node, or nil.
+func (s *Simplified) UnitAt(n cfg.NodeID) *SyncUnit {
+	for _, u := range s.Units {
+		if u.Start == n {
+			return u
+		}
+	}
+	return nil
+}
+
+// String renders the simplified graph and its units for golden tests,
+// mirroring the flavor of the paper's Fig 5.3 caption.
+func (f *FuncPDG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simplified %s:\n", f.Fn.Name())
+	s := f.Simple
+	var kept []cfg.NodeID
+	for id := range s.Kinds {
+		kept = append(kept, id)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	for _, id := range kept {
+		label := s.Kinds[id].String()
+		if st := f.CFG.Nodes[id].Stmt; st != nil {
+			label = fmt.Sprintf("%s s%d %s", label, st.ID(), ast.StmtString(st))
+		}
+		fmt.Fprintf(&b, "  n%d [%s]\n", id, label)
+	}
+	for _, e := range s.Edges {
+		fmt.Fprintf(&b, "  e%d: n%d->n%d interior=%d reads=%s writes=%s\n",
+			e.ID, e.From, e.To, len(e.Interior), e.Reads, e.Writes)
+	}
+	for _, u := range s.Units {
+		fmt.Fprintf(&b, "  unit@n%d edges=%v reads=%s writes=%s\n", u.Start, u.Edges, u.Reads, u.Write)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package progdb implements the paper's program database (§3.2.1, §4.1):
+// "information on the program text such as the places where an identifier
+// is defined or used", plus "the information obtained by semantic analyses
+// of the program, such as the set of variables that may be used or modified
+// when invoking a subroutine". The PPD Controller consults it during the
+// debugging phase to direct the emulation package and label graph nodes.
+package progdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/eblock"
+	"ppd/internal/pdg"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+)
+
+// VarSites records where one variable is defined and used (by StmtID).
+type VarSites struct {
+	Symbol *sem.Symbol
+	Scope  string // "" for globals, else the function name
+	Defs   []ast.StmtID
+	Uses   []ast.StmtID
+}
+
+// StmtInfo is the database's per-statement record.
+type StmtInfo struct {
+	ID       ast.StmtID
+	Func     string
+	Pos      source.Position
+	Text     string // one-line rendering
+	IsBranch bool
+	Calls    []string
+}
+
+// DB is the program database.
+type DB struct {
+	Prog *ast.Program
+	Info *sem.Info
+	PDG  *pdg.Program
+	Plan *eblock.Plan
+
+	Stmts map[ast.StmtID]*StmtInfo
+
+	// vars is keyed by "scope\x00name" (scope empty for globals).
+	vars map[string]*VarSites
+}
+
+// Build assembles the database from the earlier analyses.
+func Build(p *pdg.Program, plan *eblock.Plan) *DB {
+	db := &DB{
+		Prog:  p.Info.Prog,
+		Info:  p.Info,
+		PDG:   p,
+		Plan:  plan,
+		Stmts: make(map[ast.StmtID]*StmtInfo),
+		vars:  make(map[string]*VarSites),
+	}
+	for _, g := range p.Info.Globals {
+		db.vars[key("", g.Name)] = &VarSites{Symbol: g}
+	}
+	for _, fn := range p.Info.FuncList {
+		for _, l := range fn.Locals {
+			db.vars[key(fn.Name(), l.Name)] = &VarSites{Symbol: l, Scope: fn.Name()}
+		}
+		db.indexFunc(fn)
+	}
+	return db
+}
+
+func key(scope, name string) string { return scope + "\x00" + name }
+
+func (db *DB) indexFunc(fn *sem.FuncInfo) {
+	f := db.PDG.Funcs[fn.Name()]
+	space := f.Space
+	file := db.Prog.File
+	for _, s := range ast.Stmts(fn.Decl.Body) {
+		id := s.ID()
+		si := &StmtInfo{
+			ID:   id,
+			Func: fn.Name(),
+			Pos:  file.Position(s.Pos()),
+			Text: ast.StmtString(s),
+		}
+		switch s.(type) {
+		case *ast.IfStmt, *ast.WhileStmt, *ast.ForStmt:
+			si.IsBranch = true
+		}
+		if ud, ok := db.PDG.Inter.UseDefs[fn.Name()][id]; ok {
+			si.Calls = ud.Calls
+			ud.Def.ForEach(func(v int) {
+				vs := db.sitesForIndex(fn, space, v)
+				vs.Defs = append(vs.Defs, id)
+			})
+			ud.Use.ForEach(func(v int) {
+				vs := db.sitesForIndex(fn, space, v)
+				vs.Uses = append(vs.Uses, id)
+			})
+		}
+		db.Stmts[id] = si
+	}
+}
+
+func (db *DB) sitesForIndex(fn *sem.FuncInfo, space interface {
+	IsGlobal(int) bool
+	Symbol(int) *sem.Symbol
+}, v int) *VarSites {
+	sym := space.Symbol(v)
+	scope := ""
+	if !space.IsGlobal(v) {
+		scope = fn.Name()
+	}
+	k := key(scope, sym.Name)
+	vs, ok := db.vars[k]
+	if !ok {
+		vs = &VarSites{Symbol: sym, Scope: scope}
+		db.vars[k] = vs
+	}
+	return vs
+}
+
+// Global returns def/use sites of a global variable, or nil.
+func (db *DB) Global(name string) *VarSites { return db.vars[key("", name)] }
+
+// Local returns def/use sites of a function-scoped variable, or nil.
+func (db *DB) Local(fn, name string) *VarSites { return db.vars[key(fn, name)] }
+
+// Stmt returns the record for a statement ID, or nil.
+func (db *DB) Stmt(id ast.StmtID) *StmtInfo { return db.Stmts[id] }
+
+// FuncUsedDefined reports the interprocedural USED/DEFINED global names of
+// a function — the paper's canonical program-database query.
+func (db *DB) FuncUsedDefined(fn string) (used, defined []string) {
+	s, ok := db.PDG.Inter.Summaries[fn]
+	if !ok {
+		return nil, nil
+	}
+	for _, id := range s.Used.Elems() {
+		used = append(used, db.Info.Globals[id].Name)
+	}
+	for _, id := range s.Defined.Elems() {
+		defined = append(defined, db.Info.Globals[id].Name)
+	}
+	return used, defined
+}
+
+// DefsOf returns the statements that may define the named variable as seen
+// from function fn (locals shadow globals).
+func (db *DB) DefsOf(fn, name string) []ast.StmtID {
+	if vs := db.Local(fn, name); vs != nil {
+		return vs.Defs
+	}
+	if vs := db.Global(name); vs != nil {
+		return vs.Defs
+	}
+	return nil
+}
+
+// Dump renders the whole database; `ppd dump` exposes it.
+func (db *DB) Dump() string {
+	var b strings.Builder
+	b.WriteString("=== program database ===\n")
+
+	b.WriteString("globals:\n")
+	for _, g := range db.Info.Globals {
+		vs := db.Global(g.Name)
+		fmt.Fprintf(&b, "  %-12s %-6s defs=%v uses=%v\n", g.Name, g.Kind, vs.Defs, vs.Uses)
+	}
+
+	b.WriteString("functions:\n")
+	for _, fn := range db.Info.FuncList {
+		used, defined := db.FuncUsedDefined(fn.Name())
+		fmt.Fprintf(&b, "  %-12s USED=%v DEFINED=%v\n", fn.Name(), used, defined)
+	}
+
+	b.WriteString("statements:\n")
+	ids := make([]int, 0, len(db.Stmts))
+	for id := range db.Stmts {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		si := db.Stmts[ast.StmtID(id)]
+		fmt.Fprintf(&b, "  s%-4d %-10s %4d: %s\n", si.ID, si.Func, si.Pos.Line, si.Text)
+	}
+
+	b.WriteString(db.Plan.String())
+	return b.String()
+}

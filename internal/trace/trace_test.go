@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ppd/internal/logging"
+)
+
+func sampleBuffer() *Buffer {
+	b := &Buffer{PID: 0}
+	b.Append(Event{Kind: EvStmt, Stmt: 1})
+	b.Append(Event{Kind: EvWrite, Stmt: 1, Var: 0, Idx: -1, Value: 5})
+	b.Append(Event{Kind: EvStmt, Stmt: 2})
+	b.Append(Event{Kind: EvRead, Stmt: 2, Var: 0, Idx: -1, Value: 5})
+	b.Append(Event{Kind: EvRead, Stmt: 2, Var: 3, Idx: 2, Value: 7})
+	b.Append(Event{Kind: EvPred, Stmt: 3, Value: 1})
+	b.Append(Event{Kind: EvCallBegin, Stmt: 4, FuncIdx: 1, Args: []int64{5, 6}})
+	b.Append(Event{Kind: EvCallEnd, Stmt: 4, Value: 11, HasValue: true})
+	b.Append(Event{Kind: EvCallSkipped, Stmt: 5, FuncIdx: 2, Args: []int64{1}, Value: 3, HasValue: true})
+	b.Append(Event{Kind: EvSync, Stmt: 6, Op: logging.OpSend, Obj: 4})
+	b.Append(Event{Kind: EvEnd})
+	return b
+}
+
+func TestBufferString(t *testing.T) {
+	s := sampleBuffer().String()
+	for _, want := range []string{
+		"stmt s1",
+		"write s1 var0=5",
+		"read s2 var3[2]=7",
+		"pred s3 =1",
+		"call s4 f1 args=[5 6]",
+		"ret s4 =11",
+		"call-skipped s5 f2 args=[1]",
+		"sync s6 send obj=4",
+		"end",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvStmt: "stmt", EvRead: "read", EvWrite: "write", EvPred: "pred",
+		EvCallBegin: "call", EvCallEnd: "ret", EvCallSkipped: "call-skipped",
+		EvSync: "sync", EvEnd: "end",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if EventKind(99).String() != "?" {
+		t.Error("unknown kind should render ?")
+	}
+}
+
+func TestSizeBytesGrowsWithEvents(t *testing.T) {
+	b := sampleBuffer()
+	n := b.SizeBytes()
+	if n <= 0 {
+		t.Fatal("size must be positive")
+	}
+	b.Append(Event{Kind: EvRead})
+	if b.SizeBytes() <= n {
+		t.Error("size must grow")
+	}
+	// Args contribute.
+	small := &Buffer{}
+	small.Append(Event{Kind: EvCallBegin})
+	large := &Buffer{}
+	large.Append(Event{Kind: EvCallBegin, Args: []int64{1, 2, 3, 4}})
+	if large.SizeBytes() <= small.SizeBytes() {
+		t.Error("args must contribute to size")
+	}
+}
+
+func TestProgramBufferFor(t *testing.T) {
+	p := &Program{}
+	b2 := p.BufferFor(2)
+	if b2.PID != 2 || len(p.Buffers) != 3 {
+		t.Errorf("BufferFor(2): pid=%d n=%d", b2.PID, len(p.Buffers))
+	}
+	p.BufferFor(0).Append(Event{Kind: EvEnd})
+	b2.Append(Event{Kind: EvStmt})
+	b2.Append(Event{Kind: EvEnd})
+	if p.SizeBytes() != p.Buffers[0].SizeBytes()+p.Buffers[2].SizeBytes() {
+		t.Error("program size must sum buffer sizes")
+	}
+	if p.Buffers[0].Len() != 1 || b2.Len() != 2 {
+		t.Error("lengths wrong")
+	}
+}

@@ -1,0 +1,512 @@
+package vm
+
+import (
+	"fmt"
+
+	"ppd/internal/ast"
+	"ppd/internal/bytecode"
+	"ppd/internal/eblock"
+	"ppd/internal/logging"
+	"ppd/internal/trace"
+)
+
+// ModeEmulate is the debugging-phase mode (§3.2.3): a single process
+// re-executes one e-block from its prelog. Synchronization, nested-block,
+// and shared-prelog instructions are delegated to the Hooks implementation
+// (package emulation), which replays them from the log.
+const ModeEmulate Mode = 99
+
+// Hooks customizes instruction semantics under ModeEmulate.
+type Hooks interface {
+	// OnPrelog fires at a nested e-block's prelog (a loop block inside the
+	// emulated interval). Returning true means the hook substituted the
+	// block's postlog and moved the PC itself.
+	OnPrelog(p *Proc, blockID int) (handled bool, err error)
+
+	// OnPostlog fires at an e-block postlog. Returning stop=true ends the
+	// emulated interval (the root block's own postlog).
+	OnPostlog(p *Proc, blockID int, hasRet bool) (stop bool, err error)
+
+	// OnSync replays a synchronization operation from the log. For OpRecv
+	// it returns the received value.
+	OnSync(p *Proc, op logging.SyncOp, obj int) (recvVal int64, err error)
+
+	// OnCall decides whether a call re-executes or is substituted by the
+	// callee's postlog (§5.2). When skipped, it applies the postlog's
+	// global values and returns the logged return value.
+	OnCall(p *Proc, callee *bytecode.Func, args []int64) (skip bool, ret int64, hasRet bool, err error)
+
+	// OnShPrelog re-supplies shared-variable values at a sync-unit start
+	// (§5.5), healing divergence caused by other processes' writes.
+	OnShPrelog(p *Proc, unit bytecode.UnitLog) error
+}
+
+// SetHooks installs emulation hooks (ModeEmulate only).
+func (v *VM) SetHooks(h Hooks) { v.hooks = h }
+
+// StartEmuProc creates the single emulation process positioned inside fn at
+// startPC with the given frame slots, and returns it. The caller (package
+// emulation) initializes slots from the prelog.
+func (v *VM) StartEmuProc(fn *bytecode.Func, slots []Value, startPC int) *Proc {
+	p := v.newProc(fn, nil, 0)
+	f := p.top()
+	for i, s := range slots {
+		if i < len(f.Slots) {
+			f.Slots[i] = s.Clone()
+		}
+	}
+	f.PC = startPC
+	p.Tbuf = &trace.Buffer{PID: p.PID}
+	return p
+}
+
+// RunEmu drives the single emulation process until the hooks stop it, it
+// returns from its root frame, or it fails.
+func (v *VM) RunEmu(p *Proc) error {
+	for p.Status == StatusReady {
+		v.Steps++
+		if v.Steps > v.Opts.MaxSteps {
+			return fmt.Errorf("emulation budget exhausted")
+		}
+		v.step(p)
+		if v.Failure != nil {
+			return v.Failure
+		}
+		if v.emuStop {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (v *VM) tracing(p *Proc) bool {
+	return (v.Opts.Mode == ModeFullTrace || v.Opts.Mode == ModeEmulate) && p.Tbuf != nil
+}
+
+// emitStmtBoundary emits EvStmt when crossing into a new statement.
+func (v *VM) emitStmtBoundary(p *Proc, in *bytecode.Instr) {
+	if in.Stmt != ast.NoStmt && in.Stmt != p.lastStmt {
+		p.lastStmt = in.Stmt
+		p.Tbuf.Append(trace.Event{Kind: trace.EvStmt, Stmt: in.Stmt})
+	}
+}
+
+// spaceIndex converts a local slot or GlobalID into the function-space
+// index the trace uses (locals first, then globals).
+func spaceLocal(slot int) int { return slot }
+
+func (v *VM) spaceGlobal(fn *bytecode.Func, gid int) int { return fn.NumSlots + gid }
+
+func (v *VM) markRead(p *Proc, gid int) {
+	if v.Opts.Mode == ModeLog && v.Prog.Globals[gid].Shared {
+		p.reads.Add(gid)
+	}
+}
+
+func (v *VM) markWrite(p *Proc, gid int) {
+	if v.Opts.Mode == ModeLog && v.Prog.Globals[gid].Shared {
+		p.writes.Add(gid)
+	}
+}
+
+// step executes one instruction of p.
+func (v *VM) step(p *Proc) {
+	f := p.top()
+	if f.PC >= len(f.Fn.Code) {
+		v.fail(p, ast.NoStmt, "pc out of range in %s", f.Fn.Name)
+		return
+	}
+	in := &f.Fn.Code[f.PC]
+	if v.Opts.BreakAt != ast.NoStmt && in.Stmt == v.Opts.BreakAt && v.Opts.Mode != ModeEmulate {
+		// Halt the whole execution before this statement runs; the PC stays
+		// on it so the debugger reports the stop site.
+		v.BreakHit = true
+		return
+	}
+	tracing := v.tracing(p)
+	if tracing {
+		switch in.Op {
+		case bytecode.OpPrelog, bytecode.OpPostlog, bytecode.OpShPrelog, bytecode.OpNop:
+			// markers produce no statement boundaries
+		default:
+			v.emitStmtBoundary(p, in)
+		}
+	}
+	f.PC++
+
+	push := func(x int64) { f.Stack = append(f.Stack, x) }
+	pop := func() int64 {
+		x := f.Stack[len(f.Stack)-1]
+		f.Stack = f.Stack[:len(f.Stack)-1]
+		return x
+	}
+
+	switch in.Op {
+	case bytecode.OpNop:
+
+	case bytecode.OpConst:
+		push(int64(in.A))
+
+	case bytecode.OpPop:
+		pop()
+
+	case bytecode.OpLoadLocal:
+		val := f.Slots[in.A].Int
+		push(val)
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvRead, Stmt: in.Stmt, Var: spaceLocal(in.A), Idx: -1, Value: val})
+		}
+
+	case bytecode.OpStoreLocal:
+		val := pop()
+		f.Slots[in.A] = Value{Int: val}
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: spaceLocal(in.A), Idx: -1, Value: val})
+		}
+
+	case bytecode.OpLoadGlobal:
+		val := v.Globals[in.A].Int
+		push(val)
+		v.markRead(p, in.A)
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvRead, Stmt: in.Stmt, Var: v.spaceGlobal(f.Fn, in.A), Idx: -1, Value: val})
+		}
+
+	case bytecode.OpStoreGlobal:
+		val := pop()
+		v.Globals[in.A] = Value{Int: val}
+		v.markWrite(p, in.A)
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: v.spaceGlobal(f.Fn, in.A), Idx: -1, Value: val})
+		}
+
+	case bytecode.OpLoadIndexedL:
+		i := pop()
+		arr := f.Slots[in.A].Arr
+		if i < 0 || i >= int64(len(arr)) {
+			v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
+			return
+		}
+		push(arr[i])
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvRead, Stmt: in.Stmt, Var: spaceLocal(in.A), Idx: int(i), Value: arr[i]})
+		}
+
+	case bytecode.OpStoreIndexedL:
+		val := pop()
+		i := pop()
+		arr := f.Slots[in.A].Arr
+		if i < 0 || i >= int64(len(arr)) {
+			v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
+			return
+		}
+		arr[i] = val
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: spaceLocal(in.A), Idx: int(i), Value: val})
+		}
+
+	case bytecode.OpLoadIndexedG:
+		i := pop()
+		arr := v.Globals[in.A].Arr
+		if i < 0 || i >= int64(len(arr)) {
+			v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
+			return
+		}
+		push(arr[i])
+		v.markRead(p, in.A)
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvRead, Stmt: in.Stmt, Var: v.spaceGlobal(f.Fn, in.A), Idx: int(i), Value: arr[i]})
+		}
+
+	case bytecode.OpStoreIndexedG:
+		val := pop()
+		i := pop()
+		arr := v.Globals[in.A].Arr
+		if i < 0 || i >= int64(len(arr)) {
+			v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
+			return
+		}
+		arr[i] = val
+		v.markWrite(p, in.A)
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: v.spaceGlobal(f.Fn, in.A), Idx: int(i), Value: val})
+		}
+
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod,
+		bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+		y := pop()
+		x := pop()
+		var r int64
+		switch in.Op {
+		case bytecode.OpAdd:
+			r = x + y
+		case bytecode.OpSub:
+			r = x - y
+		case bytecode.OpMul:
+			r = x * y
+		case bytecode.OpDiv:
+			if y == 0 {
+				v.fail(p, in.Stmt, "division by zero")
+				return
+			}
+			r = x / y
+		case bytecode.OpMod:
+			if y == 0 {
+				v.fail(p, in.Stmt, "modulo by zero")
+				return
+			}
+			r = x % y
+		case bytecode.OpEq:
+			r = b2i(x == y)
+		case bytecode.OpNe:
+			r = b2i(x != y)
+		case bytecode.OpLt:
+			r = b2i(x < y)
+		case bytecode.OpLe:
+			r = b2i(x <= y)
+		case bytecode.OpGt:
+			r = b2i(x > y)
+		case bytecode.OpGe:
+			r = b2i(x >= y)
+		}
+		push(r)
+
+	case bytecode.OpNeg:
+		push(-pop())
+	case bytecode.OpNot:
+		push(b2i(pop() == 0))
+
+	case bytecode.OpJmp:
+		f.PC = in.A
+
+	case bytecode.OpJmpFalse:
+		c := pop()
+		if tracing && in.B == 1 {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvPred, Stmt: in.Stmt, Value: c})
+		}
+		if c == 0 {
+			f.PC = in.A
+		}
+
+	case bytecode.OpJmpTrue:
+		if pop() != 0 {
+			f.PC = in.A
+		}
+
+	case bytecode.OpCall:
+		callee := v.Prog.Funcs[in.A]
+		args := make([]int64, in.B)
+		for i := in.B - 1; i >= 0; i-- {
+			args[i] = pop()
+		}
+		if v.Opts.Mode == ModeEmulate {
+			// The hook appends EvCallSkipped and the substituted postlog's
+			// EvWrite events itself when it skips.
+			skip, ret, hasRet, err := v.hooks.OnCall(p, callee, args)
+			if err != nil {
+				v.fail(p, in.Stmt, "emulation: %v", err)
+				return
+			}
+			if skip {
+				if hasRet {
+					push(ret)
+				}
+				p.lastStmt = ast.NoStmt
+				return
+			}
+		}
+		if len(p.Frames) > 4096 {
+			v.fail(p, in.Stmt, "call stack overflow")
+			return
+		}
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvCallBegin, Stmt: in.Stmt,
+				FuncIdx: callee.Idx, Args: args})
+			p.lastStmt = ast.NoStmt
+		}
+		p.Frames = append(p.Frames, v.newFrame(callee, args))
+
+	case bytecode.OpRet, bytecode.OpRetValue:
+		var ret int64
+		hasRet := in.Op == bytecode.OpRetValue
+		if hasRet {
+			ret = pop()
+		}
+		if len(p.Frames) == 1 {
+			v.finish(p)
+			return
+		}
+		p.Frames = p.Frames[:len(p.Frames)-1]
+		caller := p.top()
+		if hasRet {
+			caller.Stack = append(caller.Stack, ret)
+		}
+		if tracing {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvCallEnd,
+				Stmt: caller.Fn.Code[caller.PC-1].Stmt, Value: ret, HasValue: hasRet})
+			p.lastStmt = ast.NoStmt
+		}
+
+	case bytecode.OpSpawn:
+		args := make([]int64, in.B)
+		for i := in.B - 1; i >= 0; i-- {
+			args[i] = pop()
+		}
+		if v.Opts.Mode == ModeEmulate {
+			if _, err := v.hooks.OnSync(p, logging.OpSpawn, -1); err != nil {
+				v.fail(p, in.Stmt, "emulation: %v", err)
+				return
+			}
+			if tracing {
+				p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpSpawn, Obj: in.A})
+			}
+			return
+		}
+		gsn := v.nextGsn()
+		child := v.newProc(v.Prog.Funcs[in.A], args, gsn)
+		v.logSync(p, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpSpawn, Obj: child.PID,
+			Stmt: in.Stmt, Gsn: gsn, Value: int64(in.A),
+		})
+		if v.Opts.Mode == ModeFullTrace {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpSpawn, Obj: child.PID})
+		}
+
+	case bytecode.OpSemP:
+		v.execSemP(p, in)
+	case bytecode.OpSemV:
+		v.execSemV(p, in)
+	case bytecode.OpSend:
+		v.execSend(p, in, pop())
+	case bytecode.OpRecv:
+		v.execRecv(p, in)
+
+	case bytecode.OpPrintStr:
+		if v.Opts.Output != nil && v.Opts.Mode != ModeEmulate {
+			fmt.Fprint(v.Opts.Output, v.Prog.Strings[in.A])
+		}
+	case bytecode.OpPrintVal:
+		val := pop()
+		if v.Opts.Output != nil && v.Opts.Mode != ModeEmulate {
+			fmt.Fprint(v.Opts.Output, val)
+		}
+	case bytecode.OpPrintNl:
+		if v.Opts.Output != nil && v.Opts.Mode != ModeEmulate {
+			fmt.Fprintln(v.Opts.Output)
+		}
+
+	case bytecode.OpPrelog:
+		switch v.Opts.Mode {
+		case ModeLog:
+			v.emitPrelog(p, in.A, in.Stmt)
+		case ModeEmulate:
+			handled, err := v.hooks.OnPrelog(p, in.A)
+			if err != nil {
+				v.fail(p, in.Stmt, "emulation: %v", err)
+			}
+			_ = handled
+		}
+
+	case bytecode.OpPostlog:
+		switch v.Opts.Mode {
+		case ModeLog:
+			v.emitPostlog(p, in.A, in.B == 1, in.Stmt)
+		case ModeEmulate:
+			stop, err := v.hooks.OnPostlog(p, in.A, in.B == 1)
+			if err != nil {
+				v.fail(p, in.Stmt, "emulation: %v", err)
+				return
+			}
+			if stop {
+				if p.Tbuf != nil {
+					p.Tbuf.Append(trace.Event{Kind: trace.EvEnd, Stmt: in.Stmt})
+				}
+				v.emuStop = true
+			}
+		}
+
+	case bytecode.OpShPrelog:
+		switch v.Opts.Mode {
+		case ModeLog:
+			v.emitShPrelog(p, f.Fn, in.A)
+		case ModeEmulate:
+			if err := v.hooks.OnShPrelog(p, f.Fn.Units[in.A]); err != nil {
+				v.fail(p, in.Stmt, "emulation: %v", err)
+			}
+		}
+
+	default:
+		v.fail(p, in.Stmt, "illegal opcode %v", in.Op)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// logSync appends a sync record carrying the just-terminated internal
+// edge's read/write sets (§6.3).
+func (v *VM) logSync(p *Proc, rec *logging.Record) {
+	if v.Opts.Mode != ModeLog {
+		return
+	}
+	rec.Reads, rec.Writes = p.takeEdgeSets()
+	p.Book.Append(rec)
+}
+
+// ------------------------------------------------------------ logging
+
+func (v *VM) emitPrelog(p *Proc, blockID int, stmt ast.StmtID) {
+	meta := v.Prog.Blocks[blockID]
+	f := p.top()
+	rec := &logging.Record{Kind: logging.RecPrelog, Block: eblock.ID(blockID), Stmt: stmt}
+	if len(meta.UsedLocals) > 0 {
+		rec.Locals = make(logging.Pairs, 0, len(meta.UsedLocals))
+		for _, slot := range meta.UsedLocals {
+			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.Slots[slot].Clone()})
+		}
+	}
+	if len(meta.UsedGlobals) > 0 {
+		rec.Globals = make(logging.Pairs, 0, len(meta.UsedGlobals))
+		for _, gid := range meta.UsedGlobals {
+			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+		}
+	}
+	p.Book.Append(rec)
+}
+
+func (v *VM) emitPostlog(p *Proc, blockID int, retOnStack bool, stmt ast.StmtID) {
+	meta := v.Prog.Blocks[blockID]
+	f := p.top()
+	rec := &logging.Record{Kind: logging.RecPostlog, Block: eblock.ID(blockID), Stmt: stmt}
+	if len(meta.DefinedLocals) > 0 {
+		rec.Locals = make(logging.Pairs, 0, len(meta.DefinedLocals))
+		for _, slot := range meta.DefinedLocals {
+			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.Slots[slot].Clone()})
+		}
+	}
+	if len(meta.DefinedGlobals) > 0 {
+		rec.Globals = make(logging.Pairs, 0, len(meta.DefinedGlobals))
+		for _, gid := range meta.DefinedGlobals {
+			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+		}
+	}
+	if retOnStack {
+		val := Value{Int: f.Stack[len(f.Stack)-1]}
+		rec.Ret = &val
+	}
+	p.Book.Append(rec)
+}
+
+func (v *VM) emitShPrelog(p *Proc, fn *bytecode.Func, unitIdx int) {
+	u := fn.Units[unitIdx]
+	rec := &logging.Record{Kind: logging.RecShPrelog, Stmt: u.Stmt}
+	rec.Globals = make(logging.Pairs, 0, len(u.Globals))
+	for _, gid := range u.Globals {
+		rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+	}
+	p.Book.Append(rec)
+}

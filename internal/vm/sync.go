@@ -1,0 +1,262 @@
+package vm
+
+import (
+	"ppd/internal/bytecode"
+	"ppd/internal/logging"
+	"ppd/internal/trace"
+)
+
+// Synchronization semantics (§6.2):
+//
+//   - P blocks while the semaphore count is zero; a V with waiters hands the
+//     count directly to the first waiter (edge V→unblocked-P). A V that
+//     raises the count 0→1 is remembered; if the next operation on the same
+//     semaphore is a P by a different process, that V→P pair gets an edge.
+//   - send blocks until the message is accepted: immediately into a buffer
+//     slot when capacity allows, otherwise until a receiver takes it. For
+//     unbuffered channels the receiver's take also unblocks the sender
+//     (edges send→recv and recv→unblock, the paper's n3→n4 and n4→n5).
+//   - recv blocks until a message is available.
+//
+// Every completed operation appends a RecSync record carrying the event's
+// global sequence number, its causal source (FromGsn), and the terminated
+// internal edge's shared READ/WRITE sets.
+
+func (v *VM) traceSync(p *Proc, in *bytecode.Instr, op logging.SyncOp, obj int) {
+	if v.Opts.Mode == ModeFullTrace {
+		p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: op, Obj: obj})
+	}
+}
+
+func (v *VM) execSemP(p *Proc, in *bytecode.Instr) {
+	if v.Opts.Mode == ModeEmulate {
+		if _, err := v.hooks.OnSync(p, logging.OpP, in.A); err != nil {
+			v.fail(p, in.Stmt, "emulation: %v", err)
+			return
+		}
+		if p.Tbuf != nil {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpP, Obj: in.A})
+		}
+		return
+	}
+	s := v.sems[in.A]
+	if s == nil {
+		v.fail(p, in.Stmt, "P on non-semaphore global %d", in.A)
+		return
+	}
+	if s.count > 0 {
+		s.count--
+		gsn := v.nextGsn()
+		var from uint64
+		// §6.2.1 second rule: pair with the remembered 0→1 V when this P is
+		// the next operation on the semaphore and is by another process.
+		if s.pendingVGsn != 0 && s.pendingVPid != p.PID {
+			from = s.pendingVGsn
+		}
+		s.pendingVGsn, s.pendingVPid = 0, -1
+		v.logSync(p, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpP, Obj: in.A,
+			Stmt: in.Stmt, Gsn: gsn, FromGsn: from, Value: s.count,
+		})
+		v.traceSync(p, in, logging.OpP, in.A)
+		return
+	}
+	// Block. The PC has already advanced past the P; completion happens in
+	// execSemV when a V hands the semaphore over.
+	s.pendingVGsn, s.pendingVPid = 0, -1 // a blocked P is "the next operation"
+	p.Status = StatusBlockedSem
+	p.waitObj = in.A
+	p.blockStmt = in.Stmt
+	s.waiters = append(s.waiters, p)
+}
+
+func (v *VM) execSemV(p *Proc, in *bytecode.Instr) {
+	if v.Opts.Mode == ModeEmulate {
+		if _, err := v.hooks.OnSync(p, logging.OpV, in.A); err != nil {
+			v.fail(p, in.Stmt, "emulation: %v", err)
+			return
+		}
+		if p.Tbuf != nil {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpV, Obj: in.A})
+		}
+		return
+	}
+	s := v.sems[in.A]
+	if s == nil {
+		v.fail(p, in.Stmt, "V on non-semaphore global %d", in.A)
+		return
+	}
+	gsn := v.nextGsn()
+	v.logSync(p, &logging.Record{
+		Kind: logging.RecSync, Op: logging.OpV, Obj: in.A,
+		Stmt: in.Stmt, Gsn: gsn, Value: s.count,
+	})
+	v.traceSync(p, in, logging.OpV, in.A)
+
+	if len(s.waiters) > 0 {
+		// Direct handoff: first waiter's P completes now, with an edge from
+		// this V (§6.2.1 first rule).
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Status = StatusReady
+		v.ready = append(v.ready, w)
+		wGsn := v.nextGsn()
+		v.logSyncFor(w, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpP, Obj: in.A,
+			Stmt: w.blockStmt, Gsn: wGsn, FromGsn: gsn, Value: s.count,
+		})
+		if v.Opts.Mode == ModeFullTrace {
+			w.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: w.blockStmt, Op: logging.OpP, Obj: in.A})
+		}
+		return
+	}
+	s.count++
+	if s.count == 1 {
+		s.pendingVGsn, s.pendingVPid = gsn, p.PID
+	} else {
+		s.pendingVGsn, s.pendingVPid = 0, -1
+	}
+}
+
+// logSyncFor appends a sync record for a process other than the one
+// currently executing (used when unblocking).
+func (v *VM) logSyncFor(p *Proc, rec *logging.Record) {
+	if v.Opts.Mode != ModeLog {
+		return
+	}
+	rec.Reads, rec.Writes = p.takeEdgeSets()
+	p.Book.Append(rec)
+}
+
+func (v *VM) execSend(p *Proc, in *bytecode.Instr, val int64) {
+	if v.Opts.Mode == ModeEmulate {
+		if _, err := v.hooks.OnSync(p, logging.OpSend, in.A); err != nil {
+			v.fail(p, in.Stmt, "emulation: %v", err)
+			return
+		}
+		if p.Tbuf != nil {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpSend, Obj: in.A})
+		}
+		return
+	}
+	ch := v.chans[in.A]
+	if ch == nil {
+		v.fail(p, in.Stmt, "send on non-channel global %d", in.A)
+		return
+	}
+	gsn := v.nextGsn()
+	v.logSync(p, &logging.Record{
+		Kind: logging.RecSync, Op: logging.OpSend, Obj: in.A,
+		Stmt: in.Stmt, Gsn: gsn, Value: val,
+	})
+	v.traceSync(p, in, logging.OpSend, in.A)
+
+	if len(ch.recvers) > 0 {
+		// A receiver is waiting: deliver directly (send→recv edge), and for
+		// unbuffered channels also record the sender's unblock (recv→unblock).
+		w := ch.recvers[0]
+		ch.recvers = ch.recvers[1:]
+		w.Status = StatusReady
+		v.ready = append(v.ready, w)
+		w.top().Stack = append(w.top().Stack, val)
+		rGsn := v.nextGsn()
+		v.logSyncFor(w, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
+			Stmt: w.blockStmt, Gsn: rGsn, FromGsn: gsn, Value: val,
+		})
+		if v.Opts.Mode == ModeFullTrace {
+			w.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: w.blockStmt, Op: logging.OpRecv, Obj: in.A})
+		}
+		if ch.cap == 0 {
+			uGsn := v.nextGsn()
+			v.logSync(p, &logging.Record{
+				Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
+				Stmt: in.Stmt, Gsn: uGsn, FromGsn: rGsn,
+			})
+		}
+		return
+	}
+	if len(ch.buf) < ch.cap {
+		ch.buf = append(ch.buf, bufferedMsg{val: val, gsn: gsn})
+		return
+	}
+	// No room: block until a receiver takes the message.
+	p.Status = StatusBlockedSend
+	p.waitObj = in.A
+	p.sendVal = val
+	p.sendGsn = gsn
+	p.blockStmt = in.Stmt
+	ch.senders = append(ch.senders, p)
+}
+
+func (v *VM) execRecv(p *Proc, in *bytecode.Instr) {
+	f := p.top()
+	if v.Opts.Mode == ModeEmulate {
+		val, err := v.hooks.OnSync(p, logging.OpRecv, in.A)
+		if err != nil {
+			v.fail(p, in.Stmt, "emulation: %v", err)
+			return
+		}
+		f.Stack = append(f.Stack, val)
+		if p.Tbuf != nil {
+			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpRecv, Obj: in.A})
+		}
+		return
+	}
+	ch := v.chans[in.A]
+	if ch == nil {
+		v.fail(p, in.Stmt, "recv on non-channel global %d", in.A)
+		return
+	}
+	if len(ch.buf) > 0 {
+		m := ch.buf[0]
+		ch.buf = ch.buf[1:]
+		f.Stack = append(f.Stack, m.val)
+		gsn := v.nextGsn()
+		v.logSync(p, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
+			Stmt: in.Stmt, Gsn: gsn, FromGsn: m.gsn, Value: m.val,
+		})
+		v.traceSync(p, in, logging.OpRecv, in.A)
+		// A blocked sender can now place its message in the freed slot.
+		if len(ch.senders) > 0 {
+			s := ch.senders[0]
+			ch.senders = ch.senders[1:]
+			ch.buf = append(ch.buf, bufferedMsg{val: s.sendVal, gsn: s.sendGsn})
+			s.Status = StatusReady
+			v.ready = append(v.ready, s)
+			uGsn := v.nextGsn()
+			v.logSyncFor(s, &logging.Record{
+				Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
+				Stmt: s.blockStmt, Gsn: uGsn, FromGsn: gsn,
+			})
+		}
+		return
+	}
+	if len(ch.senders) > 0 {
+		// Unbuffered (or drained) channel with a blocked sender: take its
+		// message, unblocking it (send→recv and recv→unblock edges).
+		s := ch.senders[0]
+		ch.senders = ch.senders[1:]
+		f.Stack = append(f.Stack, s.sendVal)
+		gsn := v.nextGsn()
+		v.logSync(p, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
+			Stmt: in.Stmt, Gsn: gsn, FromGsn: s.sendGsn, Value: s.sendVal,
+		})
+		v.traceSync(p, in, logging.OpRecv, in.A)
+		s.Status = StatusReady
+		v.ready = append(v.ready, s)
+		uGsn := v.nextGsn()
+		v.logSyncFor(s, &logging.Record{
+			Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
+			Stmt: s.blockStmt, Gsn: uGsn, FromGsn: gsn,
+		})
+		return
+	}
+	// Nothing available: block.
+	p.Status = StatusBlockedRecv
+	p.waitObj = in.A
+	p.blockStmt = in.Stmt
+	ch.recvers = append(ch.recvers, p)
+}

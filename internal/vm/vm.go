@@ -1,0 +1,458 @@
+// Package vm executes PPD bytecode on a simulated shared-memory
+// multiprocessor: multiple processes over one global address space, with
+// semaphores, blocking message channels, and spawn, driven by a
+// deterministic seedable preemptive scheduler.
+//
+// The scheduler is the reproduction's substitute for real SMMP hardware
+// (see DESIGN.md): races and log contents depend on interleaving, and a
+// seeded scheduler lets tests and benchmarks explore interleavings
+// reproducibly — something the paper's Sequent could not do.
+//
+// One bytecode body serves three execution modes:
+//
+//	ModeRun       uninstrumented reference execution (overhead baseline)
+//	ModeLog       the paper's execution phase: prelogs, postlogs, shared
+//	              prelogs, and sync records are appended to per-process logs
+//	ModeFullTrace the strawman the paper argues against: every read, write,
+//	              predicate and call is traced during execution
+//
+// Emulation-mode execution (re-running a single e-block from its prelog,
+// §5.1–§5.3) is layered on top by package emulation via the hooks exposed
+// in exec.go.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/bytecode"
+	"ppd/internal/logging"
+	"ppd/internal/trace"
+)
+
+// Mode selects the VM's instrumentation behavior.
+type Mode int
+
+// Execution modes.
+const (
+	ModeRun Mode = iota
+	ModeLog
+	ModeFullTrace
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRun:
+		return "run"
+	case ModeLog:
+		return "log"
+	case ModeFullTrace:
+		return "fulltrace"
+	}
+	return "?"
+}
+
+// Options configures an execution.
+type Options struct {
+	Mode     Mode
+	Seed     int64     // scheduler seed; 0 = strict round-robin
+	Quantum  int       // max instructions per scheduling slice (default 40)
+	MaxSteps int64     // global instruction budget (default 200M)
+	Output   io.Writer // program print output; nil discards
+
+	// BreakAt halts the whole execution (all processes, §5.7's timely halt
+	// / the authors' companion breakpoint mechanism) the first time any
+	// process is about to execute the given statement. The logs flushed at
+	// the halt make the stopped state debuggable like any other.
+	BreakAt ast.StmtID
+}
+
+// Status is a process's scheduling state.
+type Status int
+
+// Process states.
+const (
+	StatusReady Status = iota
+	StatusBlockedSem
+	StatusBlockedSend
+	StatusBlockedRecv
+	StatusDone
+	StatusFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusReady:
+		return "ready"
+	case StatusBlockedSem:
+		return "blocked-P"
+	case StatusBlockedSend:
+		return "blocked-send"
+	case StatusBlockedRecv:
+		return "blocked-recv"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	}
+	return "?"
+}
+
+// Value is a runtime value; it shares logging's representation so snapshots
+// need no conversion.
+type Value = logging.Value
+
+// RuntimeError describes a failure (the paper's externally visible symptom
+// that starts a debugging session).
+type RuntimeError struct {
+	PID  int
+	Stmt ast.StmtID
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("process %d at s%d: %s", e.PID, e.Stmt, e.Msg)
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn    *bytecode.Func
+	PC    int
+	Slots []Value
+	Stack []int64
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	PID    int
+	Frames []*Frame
+	Status Status
+
+	// Blocking state.
+	waitObj   int   // GlobalID of the sem/chan being waited on
+	sendVal   int64 // value held while blocked on send
+	sendGsn   uint64
+	blockStmt ast.StmtID // statement of the operation that blocked
+
+	// Logging state.
+	Book *logging.Book
+	Tbuf *trace.Buffer
+
+	// Shared-variable access sets of the current internal edge (§6.3).
+	reads, writes *bitset.Set
+
+	lastStmt ast.StmtID // trace statement-boundary detection
+
+	Err *RuntimeError
+}
+
+func (p *Proc) top() *Frame { return p.Frames[len(p.Frames)-1] }
+
+type semaphore struct {
+	count   int64
+	waiters []*Proc
+	// pendingV implements §6.2.1's second pairing rule: set when a V takes
+	// the count 0→1 with no waiter; consumed by the next operation on the
+	// same semaphore.
+	pendingVGsn uint64
+	pendingVPid int
+}
+
+type bufferedMsg struct {
+	val int64
+	gsn uint64
+}
+
+type channel struct {
+	cap     int
+	buf     []bufferedMsg
+	senders []*Proc // blocked senders, FIFO
+	recvers []*Proc // blocked receivers, FIFO
+}
+
+// VM is one execution instance.
+type VM struct {
+	Prog *bytecode.Program
+	Opts Options
+
+	Globals []Value
+	sems    []*semaphore
+	chans   []*channel
+
+	Procs []*Proc
+	ready []*Proc // scheduling queue (round-robin rotation)
+
+	rng   *rand.Rand
+	gsn   uint64
+	Steps int64
+
+	Log   *logging.ProgramLog
+	Trace *trace.Program
+
+	Failure  *RuntimeError
+	Deadlock bool
+	// BreakHit reports that execution halted at Options.BreakAt.
+	BreakHit bool
+
+	numGlobals int
+
+	// Emulation support (ModeEmulate).
+	hooks   Hooks
+	emuStop bool
+}
+
+// New prepares an execution of prog.
+func New(prog *bytecode.Program, opts Options) *VM {
+	if opts.Quantum <= 0 {
+		opts.Quantum = 40
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 200_000_000
+	}
+	v := &VM{
+		Prog:       prog,
+		Opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		numGlobals: len(prog.Globals),
+	}
+	v.Globals = make([]Value, len(prog.Globals))
+	v.sems = make([]*semaphore, len(prog.Globals))
+	v.chans = make([]*channel, len(prog.Globals))
+	for i, g := range prog.Globals {
+		switch g.Kind {
+		case bytecode.GlobalVar:
+			if g.IsArray {
+				v.Globals[i] = Value{Arr: make([]int64, g.Len)}
+			} else if g.HasInit {
+				v.Globals[i] = Value{Int: g.Init}
+			}
+		case bytecode.GlobalSem:
+			v.sems[i] = &semaphore{count: g.Init}
+		case bytecode.GlobalChan:
+			v.chans[i] = &channel{cap: g.Len}
+		}
+	}
+	if opts.Mode == ModeLog {
+		v.Log = logging.NewProgramLog()
+	}
+	if opts.Mode == ModeFullTrace {
+		v.Trace = &trace.Program{}
+	}
+	return v
+}
+
+// nextGsn allocates a global sequence number for a sync event.
+func (v *VM) nextGsn() uint64 {
+	v.gsn++
+	return v.gsn
+}
+
+// newProc creates a process running fn with the given arguments.
+func (v *VM) newProc(fn *bytecode.Func, args []int64, fromGsn uint64) *Proc {
+	p := &Proc{
+		PID:    len(v.Procs),
+		Status: StatusReady,
+		reads:  bitset.New(v.numGlobals),
+		writes: bitset.New(v.numGlobals),
+	}
+	p.Frames = []*Frame{v.newFrame(fn, args)}
+	v.Procs = append(v.Procs, p)
+	v.ready = append(v.ready, p)
+	switch v.Opts.Mode {
+	case ModeLog:
+		p.Book = v.Log.BookFor(p.PID)
+		p.Book.Append(&logging.Record{
+			Kind:    logging.RecStart,
+			FromGsn: fromGsn,
+		})
+	case ModeFullTrace:
+		p.Tbuf = v.Trace.BufferFor(p.PID)
+	}
+	return p
+}
+
+func (v *VM) newFrame(fn *bytecode.Func, args []int64) *Frame {
+	f := &Frame{
+		Fn:    fn,
+		Slots: make([]Value, fn.NumSlots),
+		Stack: make([]int64, 0, 16),
+	}
+	for slot, length := range fn.ArraySlots {
+		f.Slots[slot] = Value{Arr: make([]int64, length)}
+	}
+	for i, a := range args {
+		f.Slots[fn.ParamSlots[i]] = Value{Int: a}
+	}
+	return f
+}
+
+// Run executes the program to completion (all processes done), failure, or
+// deadlock. It returns the first runtime error, if any.
+func (v *VM) Run() error {
+	main := v.Prog.Funcs[v.Prog.MainIdx]
+	v.newProc(main, nil, 0)
+	err := v.loop()
+	v.flushHaltedEdges()
+	return err
+}
+
+// RunFunc executes the program with fn(args) as the initial process instead
+// of main — used by replay's what-if restarts (§5.7).
+func (v *VM) RunFunc(fn *bytecode.Func, args []int64) error {
+	v.newProc(fn, args, 0)
+	err := v.loop()
+	v.flushHaltedEdges()
+	return err
+}
+
+// flushHaltedEdges appends a final record for every process that did not
+// exit cleanly (failure or deadlock), capturing its in-progress internal
+// edge's shared read/write sets — the paper's timely halting of
+// co-operating processes (§5.7) needs each process's state at the halt.
+func (v *VM) flushHaltedEdges() {
+	if v.Opts.Mode != ModeLog {
+		return
+	}
+	for _, p := range v.Procs {
+		if p.Status == StatusDone {
+			continue
+		}
+		status := logging.ExitFailed
+		if v.BreakHit {
+			status = logging.ExitBreak
+		}
+		stmt := p.CurrentStmt()
+		switch p.Status {
+		case StatusBlockedSem:
+			status = logging.ExitBlockedSem
+			stmt = p.blockStmt
+		case StatusBlockedSend:
+			status = logging.ExitBlockedSend
+			stmt = p.blockStmt
+		case StatusBlockedRecv:
+			status = logging.ExitBlockedRecv
+			stmt = p.blockStmt
+		case StatusFailed:
+			if p.Err != nil {
+				stmt = p.Err.Stmt
+			}
+		}
+		rec := &logging.Record{Kind: logging.RecExit, Stmt: stmt, Value: status, Obj: -1}
+		if status >= logging.ExitBlockedSem && status <= logging.ExitBlockedRecv {
+			rec.Obj = p.waitObj
+		}
+		rec.Reads, rec.Writes = p.takeEdgeSets()
+		p.Book.Append(rec)
+	}
+}
+
+func (v *VM) loop() error {
+	rr := 0
+	for {
+		// Drop finished/blocked processes from the ready queue lazily.
+		live := v.ready[:0]
+		for _, p := range v.ready {
+			if p.Status == StatusReady {
+				live = append(live, p)
+			}
+		}
+		v.ready = live
+		if len(v.ready) == 0 {
+			if v.Failure != nil {
+				return v.Failure
+			}
+			// All done, or deadlock?
+			blocked := 0
+			for _, p := range v.Procs {
+				switch p.Status {
+				case StatusBlockedSem, StatusBlockedSend, StatusBlockedRecv:
+					blocked++
+				}
+			}
+			if blocked > 0 {
+				v.Deadlock = true
+				return fmt.Errorf("deadlock: %d process(es) blocked", blocked)
+			}
+			return nil
+		}
+
+		var p *Proc
+		if v.Opts.Seed == 0 {
+			p = v.ready[rr%len(v.ready)]
+			rr++
+		} else {
+			p = v.ready[v.rng.Intn(len(v.ready))]
+		}
+
+		for q := 0; q < v.Opts.Quantum && p.Status == StatusReady; q++ {
+			v.Steps++
+			if v.Steps > v.Opts.MaxSteps {
+				v.fail(p, ast.NoStmt, "instruction budget exhausted")
+				break
+			}
+			v.step(p)
+			if v.Failure != nil {
+				return v.Failure
+			}
+			if v.BreakHit {
+				return nil
+			}
+		}
+	}
+}
+
+// fail records a runtime failure and halts the whole execution (the paper's
+// "program halts due to an error" trigger for the debugging phase).
+func (v *VM) fail(p *Proc, stmt ast.StmtID, format string, args ...any) {
+	err := &RuntimeError{PID: p.PID, Stmt: stmt, Msg: fmt.Sprintf(format, args...)}
+	p.Err = err
+	p.Status = StatusFailed
+	v.Failure = err
+}
+
+// finish marks a process done, flushing its final internal edge (§5.6).
+func (v *VM) finish(p *Proc) {
+	p.Status = StatusDone
+	if v.Opts.Mode == ModeLog {
+		rec := &logging.Record{Kind: logging.RecExit, Value: logging.ExitClean}
+		rec.Reads, rec.Writes = p.takeEdgeSets()
+		p.Book.Append(rec)
+	}
+	if v.Opts.Mode == ModeFullTrace {
+		p.Tbuf.Append(trace.Event{Kind: trace.EvEnd})
+	}
+}
+
+// takeEdgeSets returns and resets the current internal edge's shared
+// read/write sets.
+func (p *Proc) takeEdgeSets() (reads, writes []int) {
+	reads = p.reads.Elems()
+	writes = p.writes.Elems()
+	p.reads.Clear()
+	p.writes.Clear()
+	return reads, writes
+}
+
+// CurrentStmt reports where a process is stopped (for the debugger UI).
+func (p *Proc) CurrentStmt() ast.StmtID {
+	if len(p.Frames) == 0 {
+		return ast.NoStmt
+	}
+	f := p.top()
+	if f.PC < len(f.Fn.Code) {
+		return f.Fn.Code[f.PC].Stmt
+	}
+	return ast.NoStmt
+}
+
+// Snapshot returns a copy of the global state (used by replay tests).
+func (v *VM) Snapshot() []Value {
+	out := make([]Value, len(v.Globals))
+	for i, g := range v.Globals {
+		out[i] = g.Clone()
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+// Package workloads provides the MPL benchmark programs used by the
+// experiment harness (cmd/ppdbench) and the top-level benchmarks. They are
+// modelled on the program classes the paper's informal experiments used
+// (§7: "hand-annotating programs using the semantic analyses" and measuring
+// tracing overhead): a compute-bound kernel, a producer/consumer pipeline,
+// a token ring, and a recursive divide-and-conquer — spanning the spectrum
+// from sync-free number crunching to sync-heavy message passing.
+package workloads
+
+import "fmt"
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	Desc string
+	Src  string
+	// Procs is the number of processes the program spawns (including main).
+	Procs int
+	// Output is the expected program output (sanity check for harnesses).
+	Output string
+}
+
+// Matmul multiplies two n×n matrices in a single process: the compute-bound
+// extreme, with subroutine e-blocks in the inner loops' call chain.
+func Matmul(n int) *Workload {
+	src := fmt.Sprintf(`
+shared a[%d];
+shared b[%d];
+shared c[%d];
+var n = %d;
+
+func idx(i int, j int) int { return i * n + j; }
+
+func fill() {
+	var i = 0;
+	while (i < n) {
+		var j = 0;
+		while (j < n) {
+			a[idx(i, j)] = i + j;
+			b[idx(i, j)] = i - j;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+}
+
+func rowcol(i int, j int) int {
+	var s = 0;
+	var k = 0;
+	while (k < n) {
+		s = s + a[idx(i, k)] * b[idx(k, j)];
+		k = k + 1;
+	}
+	return s;
+}
+
+func multiply() {
+	var i = 0;
+	while (i < n) {
+		var j = 0;
+		while (j < n) {
+			c[idx(i, j)] = rowcol(i, j);
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+}
+
+func trace_() int {
+	var t = 0;
+	var i = 0;
+	while (i < n) {
+		t = t + c[idx(i, i)];
+		i = i + 1;
+	}
+	return t;
+}
+
+func main() {
+	fill();
+	multiply();
+	print("trace=", trace_());
+}
+`, n*n, n*n, n*n, n)
+	tr := 0
+	ai := func(i, j int) int { return i + j }
+	bi := func(i, j int) int { return i - j }
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			tr += ai(i, k) * bi(k, i)
+		}
+	}
+	return &Workload{
+		Name:   "matmul",
+		Desc:   fmt.Sprintf("%dx%d matrix multiply (compute-bound, no sync)", n, n),
+		Src:    src,
+		Procs:  1,
+		Output: fmt.Sprintf("trace=%d\n", tr),
+	}
+}
+
+// ProdCons runs producers feeding consumers through a bounded channel —
+// the classic sync-heavy pipeline.
+func ProdCons(items int) *Workload {
+	src := fmt.Sprintf(`
+chan queue[4];
+shared consumed;
+sem done = 0;
+var items = %d;
+
+func producer() {
+	var i = 1;
+	while (i <= items) {
+		send(queue, i);
+		i = i + 1;
+	}
+	send(queue, -1);
+}
+
+func digest(v int) int {
+	var h = v;
+	var k = 0;
+	while (k < 6) {
+		h = (h * 31 + v) %% 65536;
+		k = k + 1;
+	}
+	return h;
+}
+
+func consumer() {
+	var total = 0;
+	var check = 0;
+	var v = recv(queue);
+	while (v >= 0) {
+		total = total + v;
+		check = digest(check + v);
+		v = recv(queue);
+	}
+	consumed = total;
+	V(done);
+}
+
+func main() {
+	spawn producer();
+	spawn consumer();
+	P(done);
+	print("sum=", consumed);
+}
+`, items)
+	return &Workload{
+		Name:   "prodcons",
+		Desc:   fmt.Sprintf("producer/consumer, %d items over a bounded channel", items),
+		Src:    src,
+		Procs:  3,
+		Output: fmt.Sprintf("sum=%d\n", items*(items+1)/2),
+	}
+}
+
+// TokenRing passes a token around a ring of workers, each adding its id —
+// many small synchronized critical sections.
+func TokenRing(workers, rounds int) *Workload {
+	src := fmt.Sprintf(`
+shared token;
+chan hand[1];
+sem done = 0;
+var workers = %d;
+var rounds = %d;
+
+func work(t int) int {
+	var acc = t;
+	var k = 0;
+	while (k < 12) {
+		acc = (acc * 7 + k) %% 10007;
+		k = k + 1;
+	}
+	return acc;
+}
+
+func worker(id int) {
+	var r = 0;
+	var checksum = 0;
+	while (r < rounds) {
+		var t = recv(hand);
+		checksum = checksum + work(t);
+		token = t + id;
+		send(hand, token);
+		r = r + 1;
+	}
+	V(done);
+}
+
+func main() {
+	var w = 1;
+	while (w <= workers) {
+		spawn worker(w);
+		w = w + 1;
+	}
+	send(hand, 0);
+	var d = 0;
+	while (d < workers) {
+		P(done);
+		d = d + 1;
+	}
+	var final = recv(hand);
+	print("token=", final);
+}
+`, workers, rounds)
+	// Each worker adds its id `rounds` times, in some interleaved order;
+	// the sum is deterministic: rounds * (1+..+workers).
+	sum := rounds * workers * (workers + 1) / 2
+	return &Workload{
+		Name:   "tokenring",
+		Desc:   fmt.Sprintf("%d workers passing a token %d rounds each", workers, rounds),
+		Src:    src,
+		Procs:  workers + 1,
+		Output: fmt.Sprintf("token=%d\n", sum),
+	}
+}
+
+// Divide computes a recursive divide-and-conquer sum — deep call nesting,
+// exercising nested log intervals (§5.2).
+func Divide(depth int) *Workload {
+	src := fmt.Sprintf(`
+var depth = %d;
+
+func conquer(lo int, hi int) int {
+	if (hi - lo <= 1) {
+		var s = 0;
+		var k = 0;
+		while (k < 24) { s = s + lo; k = k + 1; }
+		return s / 24;
+	}
+	var mid = (lo + hi) / 2;
+	return conquer(lo, mid) + conquer(mid, hi);
+}
+
+func main() {
+	var n = 1;
+	var d = 0;
+	while (d < depth) { n = n * 2; d = d + 1; }
+	print("sum=", conquer(0, n));
+}
+`, depth)
+	n := 1 << depth
+	return &Workload{
+		Name:   "divide",
+		Desc:   fmt.Sprintf("divide-and-conquer sum over 2^%d leaves (deep nesting)", depth),
+		Src:    src,
+		Procs:  1,
+		Output: fmt.Sprintf("sum=%d\n", n*(n-1)/2),
+	}
+}
+
+// Standard returns the default experiment suite at moderate sizes.
+func Standard() []*Workload {
+	return []*Workload{
+		Matmul(16),
+		ProdCons(600),
+		TokenRing(4, 100),
+		Divide(11),
+	}
+}
+
+// Sharded generates a program with one shard variable and one mutex per
+// worker: every worker's accesses are disjoint from the others', the ideal
+// case for the variable-indexed race detector (E8) — many internal edges,
+// tiny per-variable buckets, zero races.
+func Sharded(workers, rounds int) *Workload {
+	var sb []byte
+	add := func(f string, args ...any) { sb = append(sb, []byte(fmt.Sprintf(f, args...))...) }
+	add("var cfg = 7;\n")
+	add("sem done = 0;\n")
+	for i := 0; i < workers; i++ {
+		add("shared g%d;\n", i)
+		add("sem m%d = 1;\n", i)
+	}
+	for i := 0; i < workers; i++ {
+		add(`
+func w%d() {
+	var i = 0;
+	while (i < %d) {
+		P(m%d);
+		g%d = g%d + cfg;
+		V(m%d);
+		i = i + 1;
+	}
+	V(done);
+}
+`, i, rounds, i, i, i, i)
+	}
+	add("\nfunc main() {\n")
+	for i := 0; i < workers; i++ {
+		add("\tspawn w%d();\n", i)
+	}
+	add("\tvar d = 0;\n\twhile (d < %d) { P(done); d = d + 1; }\n", workers)
+	add("}\n")
+	return &Workload{
+		Name:  fmt.Sprintf("sharded-%dx%d", workers, rounds),
+		Desc:  fmt.Sprintf("%d workers × %d rounds on disjoint shards", workers, rounds),
+		Src:   string(sb),
+		Procs: workers + 1,
+	}
+}
+
+// RacyCounter is the canonical racy program (unprotected shared counter)
+// used by the race-detection experiments; protect toggles the mutex.
+func RacyCounter(workers, increments int, protect bool) *Workload {
+	lock, unlock := "", ""
+	if protect {
+		lock, unlock = "P(m);", "V(m);"
+	}
+	src := fmt.Sprintf(`
+shared counter;
+sem m = 1;
+sem done = 0;
+var incs = %d;
+
+func w() {
+	var i = 0;
+	while (i < incs) {
+		%s
+		counter = counter + 1;
+		%s
+		i = i + 1;
+	}
+	V(done);
+}
+
+func main() {
+	var k = 0;
+	while (k < %d) { spawn w(); k = k + 1; }
+	var d = 0;
+	while (d < %d) { P(done); d = d + 1; }
+	print(counter);
+}
+`, increments, lock, unlock, workers, workers)
+	name := "racy-counter"
+	if protect {
+		name = "safe-counter"
+	}
+	return &Workload{
+		Name:  name,
+		Desc:  fmt.Sprintf("%d workers × %d increments, protect=%t", workers, increments, protect),
+		Src:   src,
+		Procs: workers + 1,
+	}
+}

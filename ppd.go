@@ -1,0 +1,214 @@
+// Package ppd is the public API of the Parallel Program Debugger, a
+// reproduction of Miller & Choi, "A Mechanism for Efficient Debugging of
+// Parallel Programs" (PLDI 1988).
+//
+// PPD debugs MPL programs (a small C-like parallel language with processes,
+// semaphores, and message channels) in the paper's three phases:
+//
+//  1. Preparatory — Compile produces the instrumented object code, the
+//     static program dependence graph, the e-block plan, and the program
+//     database.
+//  2. Execution — Program.RunLogged executes on the simulated shared-memory
+//     multiprocessor while generating the (small) incremental-tracing log:
+//     prelogs, postlogs, shared prelogs, and synchronization records.
+//  3. Debugging — Execution.Debugger answers flowback queries by emulating
+//     individual e-block intervals on demand; Execution.Races applies the
+//     happened-before race detector (Definitions 6.1–6.4).
+//
+// Quick start:
+//
+//	prog, err := ppd.Compile("demo.mpl", src)
+//	exec, err := prog.RunLogged(ppd.Options{})
+//	if exec.Failed() != nil {
+//	    sess, _ := exec.Debugger()
+//	    sess.Run(os.Stdin, os.Stdout)   // interactive flowback
+//	}
+//
+// The examples/ directory contains runnable walkthroughs, and cmd/ppd is a
+// complete CLI over the same API.
+package ppd
+
+import (
+	"fmt"
+	"io"
+
+	"ppd/internal/ast"
+	"ppd/internal/compile"
+	"ppd/internal/controller"
+	"ppd/internal/debugger"
+	"ppd/internal/dynpdg"
+	"ppd/internal/eblock"
+	"ppd/internal/emulation"
+	"ppd/internal/logging"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/replay"
+	"ppd/internal/source"
+	"ppd/internal/vm"
+)
+
+// Re-exported debugging-phase types. These are aliases so values returned
+// by this package interoperate with the subsystem packages directly.
+type (
+	// Controller is the PPD Controller: the debugging-phase coordinator.
+	Controller = controller.Controller
+	// Session is an interactive textual debugging session.
+	Session = debugger.Session
+	// DynamicGraph is a dynamic program dependence graph.
+	DynamicGraph = dynpdg.Graph
+	// ParallelGraph is the parallel dynamic graph of one execution.
+	ParallelGraph = parallel.Graph
+	// Race is one detected race condition.
+	Race = race.Race
+	// BlockConfig tunes e-block construction (§5.4).
+	BlockConfig = eblock.Config
+	// Log is the per-process execution log.
+	Log = logging.ProgramLog
+	// Emulator re-executes e-block intervals of one process.
+	Emulator = emulation.Emulator
+	// WhatIfResult compares an interval's original and modified replays.
+	WhatIfResult = replay.WhatIfResult
+)
+
+// Options configures an execution.
+type Options struct {
+	// Seed selects the scheduler interleaving; 0 is strict round-robin.
+	Seed int64
+	// Quantum is the maximum instructions per scheduling slice (default 40).
+	Quantum int
+	// MaxSteps bounds total instructions (default 200M).
+	MaxSteps int64
+	// Output receives the program's print output; nil discards it.
+	Output io.Writer
+	// BreakAt halts every process the first time the given statement (see
+	// the program database / `ppd dump` for statement numbers) is about to
+	// execute, leaving a debuggable stopped state.
+	BreakAt int
+}
+
+// Program is a compiled MPL program with its preparatory-phase artifacts.
+type Program struct {
+	art *compile.Artifacts
+}
+
+// Compile runs the preparatory phase with the default e-block configuration.
+func Compile(filename, src string) (*Program, error) {
+	return CompileWithConfig(filename, src, eblock.DefaultConfig())
+}
+
+// CompileWithConfig compiles with an explicit e-block configuration.
+func CompileWithConfig(filename, src string, cfg BlockConfig) (*Program, error) {
+	art, err := compile.Compile(source.NewFile(filename, src), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{art: art}, nil
+}
+
+// Artifacts exposes the preparatory-phase outputs for advanced use (static
+// PDG, program database, e-block plan, bytecode).
+func (p *Program) Artifacts() *compile.Artifacts { return p.art }
+
+// Run executes without instrumentation actions and returns the run error
+// (nil, a runtime failure, or a deadlock).
+func (p *Program) Run(opts Options) error {
+	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeRun))
+	return v.Run()
+}
+
+// RunLogged executes the paper's execution phase, producing the log the
+// debugging phase consumes. The returned Execution is valid even when the
+// program failed or deadlocked — that is precisely when it is interesting.
+func (p *Program) RunLogged(opts Options) (*Execution, error) {
+	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeLog))
+	runErr := v.Run()
+	e := &Execution{Program: p, vm: v}
+	if runErr != nil && v.Failure == nil && !v.Deadlock {
+		return nil, runErr // infrastructure error (budget exhausted, ...)
+	}
+	return e, nil
+}
+
+func vmOptions(opts Options, mode vm.Mode) vm.Options {
+	return vm.Options{
+		Mode:     mode,
+		Seed:     opts.Seed,
+		Quantum:  opts.Quantum,
+		MaxSteps: opts.MaxSteps,
+		Output:   opts.Output,
+		BreakAt:  ast.StmtID(opts.BreakAt),
+	}
+}
+
+// Execution is one logged run of a Program.
+type Execution struct {
+	Program *Program
+	vm      *vm.VM
+
+	ctl *controller.Controller
+}
+
+// Failed returns the runtime failure that halted the program, or nil.
+func (e *Execution) Failed() error {
+	if e.vm.Failure == nil {
+		return nil
+	}
+	return e.vm.Failure
+}
+
+// Deadlocked reports whether the execution ended with blocked processes.
+func (e *Execution) Deadlocked() bool { return e.vm.Deadlock }
+
+// AtBreakpoint reports whether the execution halted at Options.BreakAt.
+func (e *Execution) AtBreakpoint() bool { return e.vm.BreakHit }
+
+// Log returns the per-process execution log.
+func (e *Execution) Log() *Log { return e.vm.Log }
+
+// WriteLog persists the log in PPD's binary format (one artifact for the
+// whole execution; the books inside remain per-process, §5.6).
+func (e *Execution) WriteLog(w io.Writer) error { return e.vm.Log.Write(w) }
+
+// ReadLog loads a log persisted by WriteLog and binds it to the program as
+// a debuggable execution (failure/deadlock state is not persisted).
+func (p *Program) ReadLog(r io.Reader) (*Execution, error) {
+	pl, err := logging.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{
+		Program: p,
+		vm:      vm.New(p.art.Prog, vm.Options{Mode: vm.ModeLog}),
+		ctl:     controller.New(p.art, pl, nil, false),
+	}, nil
+}
+
+// Controller returns the debugging-phase coordinator (cached).
+func (e *Execution) Controller() *Controller {
+	if e.ctl == nil {
+		e.ctl = controller.FromRun(e.Program.art, e.vm)
+	}
+	return e.ctl
+}
+
+// Debugger starts an interactive flowback session over this execution.
+func (e *Execution) Debugger() (*Session, error) {
+	return debugger.New(e.Controller())
+}
+
+// Races runs race detection over the execution instance.
+func (e *Execution) Races() []*Race { return race.Indexed(e.Controller().Parallel()) }
+
+// RaceReport renders the detected races with variable names.
+func (e *Execution) RaceReport() string { return e.Controller().RaceReport() }
+
+// WhatIf re-executes the e-block interval at record prelogIdx of process
+// pid with the named global overridden, and reports what changed (§5.7).
+func (e *Execution) WhatIf(pid, prelogIdx int, global string, value int64) (*WhatIfResult, error) {
+	sym := e.Program.art.Info.GlobalByName(global)
+	if sym == nil {
+		return nil, fmt.Errorf("ppd: no global %q", global)
+	}
+	return replay.WhatIf(e.Program.art.Prog, e.vm.Log.Books[pid], prelogIdx,
+		[]replay.Override{{Slot: -1, Global: sym.GlobalID, Value: value}})
+}

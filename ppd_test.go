@@ -1,0 +1,180 @@
+package ppd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const facadeCrash = `
+var g = 1;
+func f(a int) int {
+	g = g + a;
+	return g * 2;
+}
+func main() {
+	var r = f(20) / (g - 21);
+	print(r);
+}
+`
+
+func TestFacadeCompileRun(t *testing.T) {
+	prog, err := Compile("ok.mpl", `func main() { print(6 * 7); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := prog.Run(Options{Output: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	if _, err := Compile("bad.mpl", `func main() { x = ; }`); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestFacadeDebugFlow(t *testing.T) {
+	prog, err := Compile("crash.mpl", facadeCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Failed() == nil {
+		t.Fatal("expected a failure")
+	}
+	if !strings.Contains(exec.Failed().Error(), "division by zero") {
+		t.Errorf("failure = %v", exec.Failed())
+	}
+	sess, err := exec.Debugger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sess.Exec(&out, "graph 3")
+	if !strings.Contains(out.String(), "data") {
+		t.Errorf("graph = %s", out.String())
+	}
+}
+
+func TestFacadeRaces(t *testing.T) {
+	prog, err := Compile("racy.mpl", `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{Quantum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Races()) == 0 {
+		t.Error("expected races")
+	}
+	if !strings.Contains(exec.RaceReport(), "counter") {
+		t.Errorf("report = %s", exec.RaceReport())
+	}
+}
+
+func TestFacadeWhatIf(t *testing.T) {
+	prog, err := Compile("crash.mpl", facadeCrash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := exec.Controller().FocusInterval(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.WhatIf(0, idx, "g", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Original.Err == nil {
+		t.Error("original replay should reproduce the failure")
+	}
+	if res.Modified.Err != nil {
+		t.Errorf("modified replay should succeed, got %v", res.Modified.Err)
+	}
+	if _, err := exec.WhatIf(0, idx, "nosuch", 1); err == nil {
+		t.Error("expected error for unknown global")
+	}
+}
+
+func TestFacadeLogRoundTrip(t *testing.T) {
+	prog, err := Compile("rt.mpl", `
+var g;
+func f() { g = g + 1; }
+func main() { f(); f(); print(g); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := prog.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded execution must be fully debuggable: emulate main and find
+	// both f sub-graph instances.
+	g, _, err := loaded.Controller().CurrentGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := 0
+	for _, n := range g.Nodes {
+		if n.Label == "f" {
+			subs++
+		}
+	}
+	if subs != 2 {
+		t.Errorf("sub-graph nodes after round trip = %d, want 2", subs)
+	}
+}
+
+func TestFacadeBreakpoint(t *testing.T) {
+	prog, err := Compile("bp.mpl", `
+var g;
+func main() {
+	g = 1;
+	g = 2;
+	print(g);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statement 2 is "g = 2".
+	exec, err := prog.RunLogged(Options{BreakAt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.AtBreakpoint() {
+		t.Fatal("breakpoint not hit")
+	}
+	if exec.Failed() != nil || exec.Deadlocked() {
+		t.Error("breakpoint halt misclassified")
+	}
+	// g holds the value from before the halted statement.
+	c := exec.Controller()
+	if c == nil {
+		t.Fatal("no controller")
+	}
+}

@@ -1,0 +1,13 @@
+// A bug for flowback: scale() misclassifies input 25, leading to a zero
+// divisor downstream.
+var calibration = 5;
+func scale(v int) int {
+	if (v < 25) { return v / calibration; }
+	return v / calibration - 5;
+}
+func main() {
+	var reading = 25;
+	var factor = scale(reading);
+	var normalized = 100 / factor;
+	print(normalized);
+}

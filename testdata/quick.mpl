@@ -1,0 +1,8 @@
+// A tiny MPL program: compute and print a factorial.
+func fact(n int) int {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+func main() {
+	print("5! = ", fact(5));
+}

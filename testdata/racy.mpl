@@ -1,0 +1,18 @@
+// Two workers increment a shared counter without a mutex: a race.
+shared counter;
+sem done = 0;
+func w() {
+	var i = 0;
+	while (i < 3) {
+		counter = counter + 1;
+		i = i + 1;
+	}
+	V(done);
+}
+func main() {
+	spawn w();
+	spawn w();
+	P(done);
+	P(done);
+	print(counter);
+}
