@@ -1,0 +1,40 @@
+# Developer/CI entry points. `make check` is the gate: vet, formatting,
+# build, and the full test suite under Go's race detector — the debugging
+# phase now runs concurrent (sched worker pool, controller prefetch), so
+# our own race detector's implementation is itself race-checked.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench pardebug
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages (sched, race, parallel, controller) plus
+# everything that rides on them, under the Go race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+check: vet fmt build race
+	@echo "check: OK"
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the E13 parallel-debugging-phase table.
+pardebug: build
+	$(GO) run ./cmd/ppdbench pardebug

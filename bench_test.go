@@ -5,11 +5,13 @@
 package ppd
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"ppd/internal/bitset"
 	"ppd/internal/compile"
+	"ppd/internal/controller"
 	"ppd/internal/eblock"
 	"ppd/internal/emulation"
 	"ppd/internal/parallel"
@@ -130,6 +132,51 @@ func benchRaceDetector(b *testing.B, detect func(*parallel.Graph) []*race.Race) 
 
 func BenchmarkRaceNaive(b *testing.B)  { benchRaceDetector(b, race.Naive) }
 func BenchmarkRacePruned(b *testing.B) { benchRaceDetector(b, race.Indexed) }
+
+// BenchmarkRaceParallel is E13's detector half: Indexed's per-variable
+// buckets sharded across a worker pool. Compare against BenchmarkRacePruned
+// at each worker count; on a multi-core machine w>=4 should beat it on
+// workloads.Sharded(8, 80), and the output race set is golden-identical
+// (TestDetectorsEquivalence).
+func BenchmarkRaceParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchRaceDetector(b, func(g *parallel.Graph) []*race.Race {
+				return race.Parallel(g, workers)
+			})
+		})
+	}
+}
+
+// --- E13: memoized emulation — the Controller's interval cache -------------
+
+// BenchmarkEmulateCached measures a repeated Controller.Graph query served
+// from the LRU cache; contrast with BenchmarkEmulateEBlock, which pays a
+// full VM replay per call.
+func BenchmarkEmulateCached(b *testing.B) {
+	w := workloads.Divide(11)
+	art := mustCompile(b, w, eblock.DefaultConfig())
+	v := runVM(b, art, vm.ModeLog)
+	c := controller.FromRun(art, v)
+	idx, err := c.FocusInterval(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Graph(0, idx); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	before := c.Emulations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Graph(0, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if c.Emulations() != before {
+		b.Fatalf("cached benchmark re-emulated: %d -> %d", before, c.Emulations())
+	}
+}
 
 // --- E9: bit-mask vs. list set representation -------------------------------
 

@@ -9,6 +9,8 @@
 //	ppdbench setrep       E9  bit-mask vs. list set representation (§7)
 //	ppdbench restore      E10 state restoration vs. re-execution (§5.7)
 //	ppdbench races        E7  race detection on racy/race-free programs
+//	ppdbench pardebug     E13 parallel debugging phase: sharded race
+//	                      detection worker sweep + memoized emulation
 //	ppdbench all          everything
 package main
 
@@ -17,16 +19,19 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"ppd/internal/bitset"
 	"ppd/internal/compile"
+	"ppd/internal/controller"
 	"ppd/internal/eblock"
 	"ppd/internal/emulation"
 	"ppd/internal/logging"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/replay"
+	"ppd/internal/sched"
 	"ppd/internal/source"
 	"ppd/internal/vm"
 	"ppd/internal/workloads"
@@ -53,6 +58,7 @@ func main() {
 	run("restore", restoreBench)
 	run("races", racesBench)
 	run("shprelog", shprelogAblation)
+	run("pardebug", pardebug)
 }
 
 // timeRun executes the program under the given mode and returns the best-
@@ -225,7 +231,7 @@ func findMainBlock(art *compile.Artifacts) int {
 
 func racescale(w io.Writer) {
 	fmt.Fprintln(w, "=== E8: race-detector scaling — naive all-pairs vs. variable-indexed (§7 open problem) ===")
-	fmt.Fprintf(w, "%-22s %8s %12s %12s %9s\n", "workload", "edges", "naive", "indexed", "speedup")
+	fmt.Fprintf(w, "%-22s %8s %12s %12s %12s %9s\n", "workload", "edges", "naive", "indexed", "parallel", "speedup")
 	for _, shape := range []struct{ workers, rounds int }{
 		{2, 10}, {4, 40}, {8, 80}, {8, 200},
 	} {
@@ -241,8 +247,9 @@ func racescale(w io.Writer) {
 		g := parallel.Build(v.Log, len(inst.Prog.Globals))
 		tN := bestOf(3, func() { race.Naive(g) })
 		tI := bestOf(3, func() { race.Indexed(g) })
-		fmt.Fprintf(w, "%d-workers×%-10d %8d %12v %12v %8.1fx\n",
-			shape.workers, shape.rounds, len(g.Edges), tN, tI, float64(tN)/float64(tI))
+		tP := bestOf(3, func() { race.Parallel(g, 0) })
+		fmt.Fprintf(w, "%d-workers×%-10d %8d %12v %12v %12v %8.1fx\n",
+			shape.workers, shape.rounds, len(g.Edges), tN, tI, tP, float64(tN)/float64(tI))
 	}
 }
 
@@ -379,5 +386,90 @@ func racesBench(w io.Writer) {
 		g := parallel.Build(v.Log, len(inst.Prog.Globals))
 		rs := race.Indexed(g)
 		fmt.Fprintf(w, "%-14s %10d %8d\n", wl.Name, len(g.Edges), len(rs))
+	}
+}
+
+// pardebug is E13: parallel debugging-phase scaling. Table 1 sweeps the
+// sharded race detector's worker count against the sequential indexed
+// detector (identical output, golden-tested). Table 2 shows what the
+// Controller's memoized emulation buys: the first Graph query pays a VM
+// replay, the repeat is a cache hit, and PrefetchNeighbors moves the
+// replay cost off the interactive path entirely.
+func pardebug(w io.Writer) {
+	fmt.Fprintln(w, "=== E13: parallel debugging phase (worker pool over §7's open problem) ===")
+	fmt.Fprintf(w, "detector shards on %d worker(s) by default (GOMAXPROCS=%d)\n\n",
+		sched.Shared().Workers(), runtime.GOMAXPROCS(0))
+
+	fmt.Fprintf(w, "%-22s %8s %12s", "workload", "edges", "indexed")
+	workerSweep := []int{1, 2, 4, 8}
+	for _, k := range workerSweep {
+		fmt.Fprintf(w, " %11s", fmt.Sprintf("par-w%d", k))
+	}
+	fmt.Fprintln(w)
+	for _, shape := range []struct{ workers, rounds int }{
+		{4, 40}, {8, 80}, {8, 200},
+	} {
+		wl := workloads.Sharded(shape.workers, shape.rounds)
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		g := parallel.Build(v.Log, len(inst.Prog.Globals))
+		fmt.Fprintf(w, "%d-workers×%-10d %8d %12v",
+			shape.workers, shape.rounds, len(g.Edges),
+			bestOf(3, func() { race.Indexed(g) }))
+		for _, k := range workerSweep {
+			kk := k
+			fmt.Fprintf(w, " %11v", bestOf(3, func() { race.Parallel(g, kk) }))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\n%-10s %14s %14s %14s\n",
+		"workload", "graph(cold)", "graph(cached)", "prefetched")
+	for _, wl := range []*workloads.Workload{workloads.Divide(11), workloads.TokenRing(4, 100)} {
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		// Cold: a fresh controller per query pays the VM replay.
+		cold := bestOf(reps, func() {
+			c := controller.FromRun(inst, v)
+			idx, err := c.FocusInterval(0)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := c.Graph(0, idx); err != nil {
+				panic(err)
+			}
+		})
+		// Cached: repeat query on a warm controller.
+		c := controller.FromRun(inst, v)
+		idx, err := c.FocusInterval(0)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.Graph(0, idx); err != nil {
+			panic(err)
+		}
+		cached := bestOf(reps, func() {
+			if _, err := c.Graph(0, idx); err != nil {
+				panic(err)
+			}
+		})
+		// Prefetched: after PrefetchNeighbors, querying a neighbor is a hit.
+		c.PrefetchNeighbors(0, idx)
+		pre := bestOf(reps, func() {
+			c.PrefetchNeighbors(0, idx) // warm: every target already cached
+		})
+		fmt.Fprintf(w, "%-10s %14v %14v %14v\n", wl.Name, cold, cached, pre)
 	}
 }

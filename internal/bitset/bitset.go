@@ -134,6 +134,34 @@ func (s *Set) Intersects(o *Set) bool {
 	return false
 }
 
+// Intersection returns a ∩ b and whether it is non-empty, in one pass over
+// the words. Race detection's checkPair previously probed with Intersects
+// and then recomputed the same AND via Clone+IntersectWith; this fuses the
+// two, and allocates nothing when the intersection is empty (the common
+// case on race-free executions).
+func Intersection(a, b *Set) (*Set, bool) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	var out *Set
+	for i := 0; i < n; i++ {
+		w := a.words[i] & b.words[i]
+		if w == 0 {
+			continue
+		}
+		if out == nil {
+			universe := a.n
+			if b.n < universe {
+				universe = b.n
+			}
+			out = New(universe)
+		}
+		out.words[i] = w
+	}
+	return out, out != nil
+}
+
 // Equal reports whether s and o have identical membership.
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {

@@ -239,3 +239,37 @@ func BenchmarkBitsetVsListIntersects(b *testing.B) {
 		}
 	})
 }
+
+func TestIntersection(t *testing.T) {
+	a := FromSlice(200, []int{1, 64, 65, 130, 199})
+	b := FromSlice(200, []int{0, 64, 130, 131})
+	inter, ok := Intersection(a, b)
+	if !ok {
+		t.Fatal("intersection reported empty")
+	}
+	if got := inter.Elems(); len(got) != 2 || got[0] != 64 || got[1] != 130 {
+		t.Errorf("Intersection elems = %v, want [64 130]", got)
+	}
+	// Must agree with the two-step Clone+IntersectWith it replaces.
+	ref := a.Clone()
+	ref.IntersectWith(b)
+	if !inter.Equal(ref) {
+		t.Errorf("Intersection = %v, reference = %v", inter, ref)
+	}
+
+	// Disjoint sets: reported empty, nothing allocated.
+	d := FromSlice(200, []int{2, 66, 132})
+	if inter, ok := Intersection(a, d); ok || inter != nil {
+		t.Errorf("disjoint Intersection = %v, %v; want nil, false", inter, ok)
+	}
+
+	// Mismatched universes take the smaller one.
+	small := FromSlice(70, []int{64, 65})
+	inter, ok = Intersection(a, small)
+	if !ok || inter.Len() != 70 {
+		t.Fatalf("mixed-universe Intersection = %v (len %d), ok=%v", inter, inter.Len(), ok)
+	}
+	if got := inter.Elems(); len(got) != 2 || got[0] != 64 || got[1] != 65 {
+		t.Errorf("mixed-universe elems = %v, want [64 65]", got)
+	}
+}

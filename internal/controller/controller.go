@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ppd/internal/ast"
 	"ppd/internal/compile"
@@ -23,10 +24,19 @@ import (
 	"ppd/internal/logging"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
+	"ppd/internal/sched"
 	"ppd/internal/vm"
 )
 
-// Controller is the debugging-phase coordinator.
+// DefaultCacheBound is the default LRU capacity of the per-interval
+// graph/result cache: enough that an interactive session never thrashes,
+// small enough that a sweep across thousands of intervals cannot hold
+// every full trace alive.
+const DefaultCacheBound = 128
+
+// Controller is the debugging-phase coordinator. All query methods are
+// safe for concurrent use; PrefetchNeighbors exploits that by warming the
+// interval cache on the shared worker pool while the user inspects a node.
 type Controller struct {
 	Art *compile.Artifacts
 	Log *logging.ProgramLog
@@ -39,29 +49,57 @@ type Controller struct {
 
 	pgraph *parallel.Graph
 	emus   []*emulation.Emulator
+	pool   *sched.Pool
 
-	// graph cache: one dynamic graph per emulated interval.
-	graphs map[[2]int]*dynpdg.Graph
-	// emulation result cache (for Completed/Globals queries).
-	results map[[2]int]*emulation.Result
+	// mu guards cache and races. Emulation itself runs outside the lock
+	// so concurrent misses on different intervals proceed in parallel.
+	mu sync.Mutex
+	// cache memoizes (pid, prelogIdx) → (dynamic graph, emulation result)
+	// under an LRU bound: the log is immutable post-run, so entries never
+	// invalidate, only age out.
+	cache *intervalLRU
+	// races memoizes Races(): the graph never changes, so the detector
+	// runs at most once per controller.
+	races     []*race.Race
+	racesDone bool
 }
 
 // New builds a controller from the compiled artifacts and an execution's
 // logs. failure and deadlock describe how the execution ended.
+// Per-process work (emulator construction, the parallel graph's pass 1)
+// fans out across the shared worker pool.
 func New(art *compile.Artifacts, pl *logging.ProgramLog, failure *vm.RuntimeError, deadlock bool) *Controller {
 	c := &Controller{
 		Art:      art,
 		Log:      pl,
 		Failure:  failure,
 		Deadlock: deadlock,
-		graphs:   make(map[[2]int]*dynpdg.Graph),
-		results:  make(map[[2]int]*emulation.Result),
+		pool:     sched.Shared(),
+		cache:    newIntervalLRU(DefaultCacheBound),
 	}
-	for _, book := range pl.Books {
-		c.emus = append(c.emus, emulation.New(art.Prog, book))
-	}
+	c.emus = sched.Map(c.pool, len(pl.Books), func(pid int) *emulation.Emulator {
+		return emulation.New(art.Prog, pl.Books[pid])
+	})
 	c.pgraph = parallel.Build(pl, len(art.Prog.Globals))
 	return c
+}
+
+// SetCacheBound resizes the interval cache (entries beyond the new bound
+// are evicted oldest-first). n <= 0 removes the bound.
+func (c *Controller) SetCacheBound(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache.setCap(n)
+}
+
+// Emulations returns the total number of VM re-executions performed across
+// all processes — the observable that proves cache hits skip the VM.
+func (c *Controller) Emulations() int64 {
+	var n int64
+	for _, em := range c.emus {
+		n += em.Emulations()
+	}
+	return n
 }
 
 // FromRun is a convenience constructor from a finished ModeLog VM.
@@ -78,8 +116,19 @@ func (c *Controller) Parallel() *parallel.Graph { return c.pgraph }
 // Emulator returns the per-process emulator.
 func (c *Controller) Emulator(pid int) *emulation.Emulator { return c.emus[pid] }
 
-// Races runs the indexed race detector over the execution (§6.4).
-func (c *Controller) Races() []*race.Race { return race.Indexed(c.pgraph) }
+// Races runs the race detector over the execution (§6.4), sharded across
+// the worker pool, and memoizes the result: the parallel graph is immutable
+// post-run, so the detector runs at most once per controller. The race set
+// is identical to race.Indexed's (the detectors are golden-equivalent).
+func (c *Controller) Races() []*race.Race {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.racesDone {
+		c.races = race.Parallel(c.pgraph, c.pool.Workers())
+		c.racesDone = true
+	}
+	return c.races
+}
 
 // DeadlockReport analyzes blocked processes (§6's deadlock-cause help).
 func (c *Controller) DeadlockReport() string {
@@ -127,27 +176,61 @@ func (c *Controller) FocusInterval(pid int) (int, error) {
 
 // Graph returns (building and caching on demand) the dynamic graph of the
 // interval whose prelog is at record index prelogIdx of process pid. This
-// is the incremental step: only the requested interval is ever emulated.
+// is the incremental step: only the requested interval is ever emulated,
+// and a repeated query is served from the LRU cache without touching the
+// VM at all.
 func (c *Controller) Graph(pid, prelogIdx int) (*dynpdg.Graph, error) {
-	key := [2]int{pid, prelogIdx}
-	if g, ok := c.graphs[key]; ok {
-		return g, nil
+	ent, err := c.interval(pid, prelogIdx)
+	if err != nil {
+		return nil, err
 	}
+	return ent.graph, nil
+}
+
+// interval is the memoized emulate-and-build step behind Graph, Result,
+// and the prefetcher. Emulation runs outside the lock so cache misses on
+// different intervals overlap; if two goroutines race on the same miss,
+// the first insertion wins and both observe the same entry (pointer
+// stability for cached graphs).
+func (c *Controller) interval(pid, prelogIdx int) (*intervalEntry, error) {
+	if pid < 0 || pid >= len(c.emus) {
+		return nil, fmt.Errorf("controller: no process %d", pid)
+	}
+	key := [2]int{pid, prelogIdx}
+	c.mu.Lock()
+	if ent, ok := c.cache.get(key); ok {
+		c.mu.Unlock()
+		return ent, nil
+	}
+	c.mu.Unlock()
+
 	res, err := c.emus[pid].Emulate(prelogIdx)
 	if err != nil {
 		return nil, err
 	}
 	rec := c.Log.Books[pid].Records[prelogIdx]
 	fn := c.Art.Prog.Funcs[c.Art.Prog.Blocks[rec.Block].FuncIdx]
-	g := dynpdg.Build(c.Art, res.Trace, fn.Name)
-	c.graphs[key] = g
-	c.results[key] = res
-	return g, nil
+	ent := &intervalEntry{graph: dynpdg.Build(c.Art, res.Trace, fn.Name), res: res}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.cache.get(key); ok {
+		return prev, nil // lost a concurrent miss: keep the first entry
+	}
+	c.cache.add(key, ent)
+	return ent, nil
 }
 
 // Result returns the cached emulation result for an interval (after Graph).
+// It returns nil when the interval was never emulated or its entry has
+// aged out of the LRU bound.
 func (c *Controller) Result(pid, prelogIdx int) *emulation.Result {
-	return c.results[[2]int{pid, prelogIdx}]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.cache.get([2]int{pid, prelogIdx}); ok {
+		return ent.res
+	}
+	return nil
 }
 
 // FocusNode picks the node a debugging session roots at: the last instance
@@ -230,8 +313,9 @@ type CrossRef struct {
 // (§6.3's cross-process data dependence). Returns nil when the value came
 // from initialization (no prior writer).
 func (c *Controller) ResolveInitial(pid, prelogIdx, gid int) *CrossRef {
-	// Find this interval's record span.
-	res := c.results[[2]int{pid, prelogIdx}]
+	// Find this interval's record span (cached emulation result if the
+	// interval was already emulated; the whole book otherwise).
+	res := c.Result(pid, prelogIdx)
 	span := len(c.Log.Books[pid].Records)
 	if res != nil {
 		span = prelogIdx + res.RecordsConsumed
@@ -287,6 +371,106 @@ func (c *Controller) ResolveInitial(pid, prelogIdx, gid int) *CrossRef {
 		ref.PrelogIdx = c.IntervalContaining(racy[0].PID, racy[0].EndRec)
 	}
 	return ref
+}
+
+// PrefetchNeighbors warms the interval cache around (pid, prelogIdx): the
+// preceding and following sibling intervals in the process's book, the
+// innermost enclosing interval, and the cross-process writer intervals
+// supplying shared values the focus interval reads — the intervals a user
+// inspecting a node is most likely to query next. The emulations fan out
+// across the shared worker pool and the call blocks until the cache is
+// warm; queries racing with the warm-up are safe and see each entry at
+// most once. Errors are swallowed — prefetch is purely advisory.
+func (c *Controller) PrefetchNeighbors(pid, prelogIdx int) {
+	targets := c.neighborIntervals(pid, prelogIdx)
+	c.pool.ForEach(len(targets), func(i int) {
+		_, _ = c.interval(targets[i][0], targets[i][1])
+	})
+}
+
+// maxPrefetch bounds one prefetch fan-out; beyond it the speculative work
+// would evict more cache than it warms.
+const maxPrefetch = 16
+
+// neighborIntervals computes the prefetch target list for an interval, in
+// deterministic priority order, capped at maxPrefetch and excluding the
+// focus interval itself.
+func (c *Controller) neighborIntervals(pid, prelogIdx int) [][2]int {
+	if pid < 0 || pid >= len(c.Log.Books) {
+		return nil
+	}
+	var out [][2]int
+	seen := map[[2]int]bool{{pid, prelogIdx}: true}
+	add := func(p, idx int) {
+		k := [2]int{p, idx}
+		if idx >= 0 && p >= 0 && !seen[k] && len(out) < maxPrefetch {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+
+	// Sibling intervals: the prelogs immediately before and after.
+	prev, next := -1, -1
+	for i, r := range c.Log.Books[pid].Records {
+		if r.Kind != logging.RecPrelog {
+			continue
+		}
+		switch {
+		case i < prelogIdx:
+			prev = i
+		case i > prelogIdx && next < 0:
+			next = i
+		}
+	}
+	add(pid, prev)
+	add(pid, next)
+
+	// The innermost interval enclosing this one (the caller's e-block).
+	add(pid, c.enclosingInterval(pid, prelogIdx))
+
+	// Cross-process writers: for each shared variable read by this
+	// process's edges overlapping the interval, the interval of the edge
+	// that supplied the value (§6.3's likely next hop).
+	res := c.Result(pid, prelogIdx)
+	span := len(c.Log.Books[pid].Records)
+	if res != nil {
+		span = prelogIdx + res.RecordsConsumed
+	}
+	for _, e := range c.pgraph.EdgesOf(pid) {
+		if e.EndRec < prelogIdx || e.StartRec > span {
+			continue
+		}
+		e.Reads.ForEach(func(gid int) {
+			if ref := c.ResolveInitial(pid, prelogIdx, gid); ref != nil {
+				add(ref.PID, ref.PrelogIdx)
+			}
+		})
+	}
+	return out
+}
+
+// enclosingInterval returns the record index of the innermost prelog whose
+// interval strictly contains the prelog at prelogIdx, or -1 for an
+// outermost interval.
+func (c *Controller) enclosingInterval(pid, prelogIdx int) int {
+	var stack []int
+	for i, r := range c.Log.Books[pid].Records {
+		if i == prelogIdx {
+			if len(stack) > 0 {
+				return stack[len(stack)-1]
+			}
+			return -1
+		}
+		switch r.Kind {
+		case logging.RecPrelog:
+			stack = append(stack, i)
+		case logging.RecPostlog:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return -1
 }
 
 // Flowback walks backward from a node through data/control/sync edges up to

@@ -2,11 +2,13 @@ package controller
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"ppd/internal/compile"
 	"ppd/internal/dynpdg"
 	"ppd/internal/eblock"
+	"ppd/internal/logging"
 	"ppd/internal/vm"
 )
 
@@ -279,4 +281,208 @@ func main() { P(s); }`, vm.Options{})
 	if !strings.Contains(c.Summary(), "deadlock") {
 		t.Error("summary must mention deadlock")
 	}
+}
+
+// prelogs enumerates every prelog record index of a process's book.
+func prelogs(c *Controller, pid int) []int {
+	var out []int
+	for i, r := range c.Log.Books[pid].Records {
+		if r.Kind == logging.RecPrelog {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestGraphCacheSkipsReemulation proves the memoization contract: the
+// second identical Graph query is served from the cache with zero VM
+// re-executions, observed through the emulation hook counter.
+func TestGraphCacheSkipsReemulation(t *testing.T) {
+	c := session(t, `
+func f(a int) int { return a * 2; }
+func main() { print(f(21)); }`, vm.Options{})
+	if c.Emulations() != 0 {
+		t.Fatalf("fresh controller already emulated %d times", c.Emulations())
+	}
+	_, idx, err := c.CurrentGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := c.Emulations()
+	if after1 == 0 {
+		t.Fatal("first Graph call must emulate")
+	}
+	g2, err := c.Graph(0, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == nil {
+		t.Fatal("cached graph missing")
+	}
+	if got := c.Emulations(); got != after1 {
+		t.Errorf("second Graph call re-emulated: counter %d -> %d", after1, got)
+	}
+	// Result and ResolveInitial ride the same cache: still no re-emulation.
+	if c.Result(0, idx) == nil {
+		t.Error("Result must hit the cache")
+	}
+	if got := c.Emulations(); got != after1 {
+		t.Errorf("Result re-emulated: counter %d -> %d", after1, got)
+	}
+}
+
+// TestCacheLRUEviction bounds the cache at one entry and alternates between
+// two intervals: each switch must evict the other entry and re-emulate,
+// while repeated queries of the resident entry must not.
+func TestCacheLRUEviction(t *testing.T) {
+	c := session(t, `
+func f() { print(1); }
+func g() { print(2); }
+func main() { f(); g(); }`, vm.Options{})
+	idxs := prelogs(c, 0)
+	if len(idxs) < 3 {
+		t.Fatalf("want >=3 intervals (main, f, g), got %d", len(idxs))
+	}
+	c.SetCacheBound(1)
+
+	a, b := idxs[1], idxs[2]
+	if _, err := c.Graph(0, a); err != nil {
+		t.Fatal(err)
+	}
+	n1 := c.Emulations()
+	if _, err := c.Graph(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Emulations() != n1 {
+		t.Fatal("resident entry re-emulated")
+	}
+	if _, err := c.Graph(0, b); err != nil { // evicts a
+		t.Fatal(err)
+	}
+	n2 := c.Emulations()
+	if n2 == n1 {
+		t.Fatal("miss on b did not emulate")
+	}
+	if c.Result(0, a) != nil {
+		t.Error("a should have been evicted by the bound of 1")
+	}
+	if _, err := c.Graph(0, a); err != nil { // a must be rebuilt
+		t.Fatal(err)
+	}
+	if c.Emulations() == n2 {
+		t.Error("evicted entry served without re-emulation")
+	}
+
+	// Raising the bound keeps both resident again.
+	c.SetCacheBound(8)
+	if _, err := c.Graph(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Graph(0, b); err != nil {
+		t.Fatal(err)
+	}
+	n3 := c.Emulations()
+	if _, err := c.Graph(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Graph(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.Emulations() != n3 {
+		t.Error("bound of 8 must hold both intervals")
+	}
+}
+
+// TestPrefetchNeighborsWarmsCache prefetches around the focus interval and
+// then checks the sibling/cross-process queries are all cache hits.
+func TestPrefetchNeighborsWarmsCache(t *testing.T) {
+	src := `
+shared sv;
+sem done = 0;
+func w() {
+	sv = 77;
+	V(done);
+}
+func main() {
+	spawn w();
+	P(done);
+	var x = sv + 1;
+	print(x);
+}`
+	c := session(t, src, vm.Options{Quantum: 1})
+	_, idx, err := c.CurrentGraph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PrefetchNeighbors(0, idx)
+	warm := c.Emulations()
+
+	// The cross-process writer interval must now be resident: resolving and
+	// fetching its graph re-emulates nothing.
+	gid := c.Art.Info.GlobalByName("sv").GlobalID
+	ref := c.ResolveInitial(0, idx, gid)
+	if ref == nil {
+		t.Fatal("cross-process resolution failed")
+	}
+	if _, err := c.Graph(ref.PID, ref.PrelogIdx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Emulations(); got != warm {
+		t.Errorf("writer interval not prefetched: counter %d -> %d", warm, got)
+	}
+}
+
+// TestRacesMemoized proves the detector runs once per controller.
+func TestRacesMemoized(t *testing.T) {
+	c := session(t, `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`, vm.Options{Quantum: 1})
+	r1 := c.Races()
+	if len(r1) == 0 {
+		t.Fatal("expected races")
+	}
+	r2 := c.Races()
+	if len(r1) != len(r2) {
+		t.Fatalf("memoized race set changed size: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("memoized Races must return the same race objects")
+		}
+	}
+}
+
+// TestConcurrentQueriesAreSafe hammers the controller from several
+// goroutines (run under -race in CI's check target).
+func TestConcurrentQueriesAreSafe(t *testing.T) {
+	src := `
+shared sv;
+sem done = 0;
+func w() { sv = 5; V(done); }
+func main() {
+	spawn w();
+	P(done);
+	print(sv);
+}`
+	c := session(t, src, vm.Options{Quantum: 1})
+	idxs0 := prelogs(c, 0)
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				idx := idxs0[(k+rep)%len(idxs0)]
+				if _, err := c.Graph(0, idx); err != nil {
+					t.Errorf("Graph: %v", err)
+				}
+				c.PrefetchNeighbors(0, idx)
+				c.Races()
+				c.Result(0, idx)
+			}
+		}(k)
+	}
+	wg.Wait()
 }

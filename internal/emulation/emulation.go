@@ -24,6 +24,7 @@ package emulation
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ppd/internal/bytecode"
 	"ppd/internal/logging"
@@ -47,16 +48,28 @@ type Result struct {
 	Err error
 }
 
-// Emulator re-executes e-block instances of one process.
+// Emulator re-executes e-block instances of one process. Prog and Book are
+// read-only during emulation, so one Emulator may run any number of
+// Emulate/EmulateFresh calls concurrently (each builds its own VM) — the
+// Controller's prefetcher relies on this.
 type Emulator struct {
 	Prog *bytecode.Program
 	Book *logging.Book
+
+	// runs counts VM re-executions performed (Emulate + EmulateFresh) —
+	// the hook the Controller's cache tests and benchmarks observe to
+	// prove a query was served memoized.
+	runs atomic.Int64
 }
 
 // New returns an emulator over a process's log book.
 func New(prog *bytecode.Program, book *logging.Book) *Emulator {
 	return &Emulator{Prog: prog, Book: book}
 }
+
+// Emulations returns how many VM re-executions this emulator has performed.
+// A cached query leaves the counter untouched.
+func (e *Emulator) Emulations() int64 { return e.runs.Load() }
 
 // FindLastOpenPrelog locates "the last prelog whose corresponding postlog
 // has not yet been generated" (§5.3) — the interval the program halted in.
@@ -123,6 +136,7 @@ func (e *Emulator) Emulate(prelogIdx int) (*Result, error) {
 	if pre.Kind != logging.RecPrelog {
 		return nil, fmt.Errorf("emulation: record %d is %s, not a prelog", prelogIdx, pre.Kind)
 	}
+	e.runs.Add(1)
 	meta := e.Prog.Blocks[pre.Block]
 	fn := e.Prog.Funcs[meta.FuncIdx]
 
@@ -406,6 +420,7 @@ func (e *Emulator) EmulateFresh(prelogIdx int) (*Result, error) {
 	if pre.Kind != logging.RecPrelog {
 		return nil, fmt.Errorf("emulation: record %d is %s, not a prelog", prelogIdx, pre.Kind)
 	}
+	e.runs.Add(1)
 	meta := e.Prog.Blocks[pre.Block]
 	fn := e.Prog.Funcs[meta.FuncIdx]
 

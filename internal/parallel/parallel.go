@@ -17,6 +17,7 @@ import (
 	"ppd/internal/ast"
 	"ppd/internal/bitset"
 	"ppd/internal/logging"
+	"ppd/internal/sched"
 )
 
 // EventID identifies a synchronization node globally.
@@ -65,13 +66,71 @@ type Graph struct {
 
 	byGsn   map[uint64]EventID
 	byProc  [][]EventID // events per process, in order
+	edgesOf [][]*InternalEdge
 	nProcs  int
 	nShared int
 }
 
+// extraction is one process's events and edges with process-local IDs
+// (renumbered to global IDs when stitched into the graph). Each process's
+// log scan is independent of every other's, so pass 1 of Build fans the
+// extractions out across the shared worker pool.
+type extraction struct {
+	events []*Event
+	edges  []*InternalEdge
+}
+
+// extractProc runs pass 1 for one process: events at sync/start/exit
+// records, one internal edge per event, IDs local to the process.
+func extractProc(pid int, book *logging.Book, nShared int) *extraction {
+	ex := &extraction{}
+	var prevEnd EventID = -1
+	startRec := 0
+	for ri, r := range book.Records {
+		switch r.Kind {
+		case logging.RecSync, logging.RecStart, logging.RecExit:
+			ev := &Event{
+				ID:   EventID(len(ex.events)),
+				PID:  pid,
+				Idx:  len(ex.events),
+				Op:   r.Op,
+				Kind: r.Kind,
+				Obj:  r.Obj,
+				Stmt: r.Stmt,
+				Gsn:  r.Gsn,
+				From: -1,
+			}
+			ex.events = append(ex.events, ev)
+			// The internal edge this event terminates.
+			edge := &InternalEdge{
+				ID:       len(ex.edges),
+				PID:      pid,
+				Start:    prevEnd,
+				End:      ev.ID,
+				Reads:    bitset.FromSlice(nShared, r.Reads),
+				Writes:   bitset.FromSlice(nShared, r.Writes),
+				StartRec: startRec,
+				EndRec:   ri,
+			}
+			ex.edges = append(ex.edges, edge)
+			prevEnd = ev.ID
+			startRec = ri + 1
+		}
+	}
+	return ex
+}
+
 // Build constructs the graph from an execution's logs. nShared is the size
-// of the GlobalID space (for the read/write bitsets).
+// of the GlobalID space (for the read/write bitsets). Per-process event
+// extraction runs on the shared worker pool; the stitched result is
+// identical to a sequential build — the sequential pass numbered each
+// process's events and edges contiguously in pid order, so renumbering the
+// parallel extractions by per-process offsets reproduces the exact IDs.
 func Build(pl *logging.ProgramLog, nShared int) *Graph {
+	return build(pl, nShared, sched.Shared())
+}
+
+func build(pl *logging.ProgramLog, nShared int, pool *sched.Pool) *Graph {
 	g := &Graph{
 		Log:     pl,
 		byGsn:   make(map[uint64]EventID),
@@ -79,46 +138,34 @@ func Build(pl *logging.ProgramLog, nShared int) *Graph {
 		nShared: nShared,
 	}
 	g.byProc = make([][]EventID, g.nProcs)
+	g.edgesOf = make([][]*InternalEdge, g.nProcs)
 
-	// Pass 1: create events.
-	for pid, book := range pl.Books {
-		var prevEnd EventID = -1
-		startRec := 0
-		for ri, r := range book.Records {
-			switch r.Kind {
-			case logging.RecSync, logging.RecStart, logging.RecExit:
-				ev := &Event{
-					ID:   EventID(len(g.Events)),
-					PID:  pid,
-					Idx:  len(g.byProc[pid]),
-					Op:   r.Op,
-					Kind: r.Kind,
-					Obj:  r.Obj,
-					Stmt: r.Stmt,
-					Gsn:  r.Gsn,
-					From: -1,
-				}
-				g.Events = append(g.Events, ev)
-				g.byProc[pid] = append(g.byProc[pid], ev.ID)
-				if r.Gsn != 0 {
-					g.byGsn[r.Gsn] = ev.ID
-				}
-				// The internal edge this event terminates.
-				edge := &InternalEdge{
-					ID:       len(g.Edges),
-					PID:      pid,
-					Start:    prevEnd,
-					End:      ev.ID,
-					Reads:    bitset.FromSlice(nShared, r.Reads),
-					Writes:   bitset.FromSlice(nShared, r.Writes),
-					StartRec: startRec,
-					EndRec:   ri,
-				}
-				g.Edges = append(g.Edges, edge)
-				prevEnd = ev.ID
-				startRec = ri + 1
+	// Pass 1: per-process extraction, fanned out.
+	extracts := sched.Map(pool, g.nProcs, func(pid int) *extraction {
+		return extractProc(pid, pl.Books[pid], nShared)
+	})
+
+	// Stitch: renumber local IDs into the global ID space in pid order.
+	for pid, ex := range extracts {
+		evOff := EventID(len(g.Events))
+		edgeOff := len(g.Edges)
+		for _, ev := range ex.events {
+			ev.ID += evOff
+			g.Events = append(g.Events, ev)
+			g.byProc[pid] = append(g.byProc[pid], ev.ID)
+			if ev.Gsn != 0 {
+				g.byGsn[ev.Gsn] = ev.ID
 			}
 		}
+		for _, e := range ex.edges {
+			e.ID += edgeOff
+			if e.Start >= 0 {
+				e.Start += evOff
+			}
+			e.End += evOff
+			g.Edges = append(g.Edges, e)
+		}
+		g.edgesOf[pid] = ex.edges
 	}
 
 	// Pass 2: synchronization edges via FromGsn.
@@ -243,15 +290,14 @@ func (g *Graph) Simultaneous(e1, e2 *InternalEdge) bool {
 	return !g.EdgeHB(e1, e2) && !g.EdgeHB(e2, e1)
 }
 
-// EdgesOf returns the internal edges of one process, in order.
+// EdgesOf returns the internal edges of one process, in order. The
+// per-process index is built during Build, so this is O(1) — it sits on
+// the controller's cross-process resolution path.
 func (g *Graph) EdgesOf(pid int) []*InternalEdge {
-	var out []*InternalEdge
-	for _, e := range g.Edges {
-		if e.PID == pid {
-			out = append(out, e)
-		}
+	if pid < 0 || pid >= len(g.edgesOf) {
+		return nil
 	}
-	return out
+	return g.edgesOf[pid]
 }
 
 // NumProcs returns the number of processes.

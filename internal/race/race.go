@@ -18,7 +18,9 @@ import (
 	"sort"
 	"strings"
 
+	"ppd/internal/bitset"
 	"ppd/internal/parallel"
+	"ppd/internal/sched"
 )
 
 // Conflict classifies a race by access kinds.
@@ -57,17 +59,29 @@ func (r *Race) String() string {
 		r.Kind, r.E1.PID+1, r.E1.ID, r.E2.PID+1, r.E2.ID, r.Vars)
 }
 
+// pairKey canonicalizes a race for deduplication: the edge pair in ID
+// order plus the conflict kind. The variables in conflict are fully
+// determined by (pair, kind) — the bitset intersection is deterministic —
+// so a comparable struct suffices and the dedup map never touches
+// fmt.Sprintf.
+type pairKey struct {
+	a, b int
+	kind Conflict
+}
+
 // key canonicalizes a race for deduplication across detectors.
-func (r *Race) key() string {
+func (r *Race) key() pairKey {
 	a, b := r.E1.ID, r.E2.ID
 	if a > b {
 		a, b = b, a
 	}
-	return fmt.Sprintf("%d-%d-%v", a, b, r.Vars)
+	return pairKey{a, b, r.Kind}
 }
 
 // checkPair applies Definition 6.3 to a pair of simultaneous edges,
-// returning the races found (possibly several kinds).
+// returning the races found (possibly several kinds). Each intersection is
+// one fused pass (bitset.Intersection) instead of an Intersects probe
+// followed by Clone+IntersectWith.
 func checkPair(g *parallel.Graph, e1, e2 *parallel.InternalEdge) []*Race {
 	// Canonical orientation so both detectors classify a conflict the same
 	// way regardless of discovery order.
@@ -75,19 +89,13 @@ func checkPair(g *parallel.Graph, e1, e2 *parallel.InternalEdge) []*Race {
 		e1, e2 = e2, e1
 	}
 	var out []*Race
-	if e1.Writes.Intersects(e2.Writes) {
-		inter := e1.Writes.Clone()
-		inter.IntersectWith(e2.Writes)
+	if inter, ok := bitset.Intersection(e1.Writes, e2.Writes); ok {
 		out = append(out, &Race{E1: e1, E2: e2, Kind: WriteWrite, Vars: inter.Elems()})
 	}
-	if e1.Writes.Intersects(e2.Reads) {
-		inter := e1.Writes.Clone()
-		inter.IntersectWith(e2.Reads)
+	if inter, ok := bitset.Intersection(e1.Writes, e2.Reads); ok {
 		out = append(out, &Race{E1: e1, E2: e2, Kind: WriteRead, Vars: inter.Elems()})
 	}
-	if e1.Reads.Intersects(e2.Writes) {
-		inter := e1.Reads.Clone()
-		inter.IntersectWith(e2.Writes)
+	if inter, ok := bitset.Intersection(e1.Reads, e2.Writes); ok {
 		out = append(out, &Race{E1: e1, E2: e2, Kind: ReadWrite, Vars: inter.Elems()})
 	}
 	return out
@@ -112,21 +120,25 @@ func Naive(g *parallel.Graph) []*Race {
 	return dedup(out)
 }
 
-// Indexed buckets edges per shared variable (separately for readers and
-// writers), then tests only pairs sharing a variable — the candidate set
-// Definition 6.3 can ever accept. For typical programs the buckets are
-// small, eliminating the quadratic sweep over unrelated edges.
-func Indexed(g *parallel.Graph) []*Race {
+// buckets indexes the graph's internal edges per shared variable,
+// separately for readers and writers — the candidate sets Definition 6.3
+// can ever accept.
+func buckets(g *parallel.Graph) (readers, writers [][]*parallel.InternalEdge) {
 	nv := g.NumShared()
-	readers := make([][]*parallel.InternalEdge, nv)
-	writers := make([][]*parallel.InternalEdge, nv)
+	readers = make([][]*parallel.InternalEdge, nv)
+	writers = make([][]*parallel.InternalEdge, nv)
 	for _, e := range g.Edges {
 		e.Reads.ForEach(func(v int) { readers[v] = append(readers[v], e) })
 		e.Writes.ForEach(func(v int) { writers[v] = append(writers[v], e) })
 	}
-	// Pairs sharing several variables are tested once per variable; the
-	// duplicate Race entries that produces are removed by dedup — cheaper
-	// than tracking visited pairs in a map.
+	return readers, writers
+}
+
+// scanVars tests every candidate pair of the variables in [lo, hi),
+// appending the races found. Pairs sharing several variables are tested
+// once per variable; the duplicate Race entries that produces are removed
+// by dedup — cheaper than tracking visited pairs in a map.
+func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo, hi int) []*Race {
 	var out []*Race
 	tryPair := func(e1, e2 *parallel.InternalEdge) {
 		if e1.PID == e2.PID {
@@ -137,7 +149,7 @@ func Indexed(g *parallel.Graph) []*Race {
 		}
 		out = append(out, checkPair(g, e1, e2)...)
 	}
-	for v := 0; v < nv; v++ {
+	for v := lo; v < hi; v++ {
 		// write/write and write/read candidates.
 		for i, w := range writers[v] {
 			for _, w2 := range writers[v][i+1:] {
@@ -148,14 +160,43 @@ func Indexed(g *parallel.Graph) []*Race {
 			}
 		}
 	}
-	return dedup(out)
+	return out
+}
+
+// Indexed buckets edges per shared variable (separately for readers and
+// writers), then tests only pairs sharing a variable — the candidate set
+// Definition 6.3 can ever accept. For typical programs the buckets are
+// small, eliminating the quadratic sweep over unrelated edges.
+func Indexed(g *parallel.Graph) []*Race {
+	readers, writers := buckets(g)
+	return dedup(scanVars(g, readers, writers, 0, g.NumShared()))
+}
+
+// Parallel is Indexed with the per-variable buckets sharded across a
+// bounded worker pool: each worker scans a contiguous range of shared
+// variables (the buckets are independent by construction), the per-worker
+// race slices are merged in variable order, and dedup canonicalizes —
+// so the result is identical to Indexed's, slice order included. workers
+// <= 0 selects GOMAXPROCS; one worker (or one variable) degenerates to
+// the sequential scan with no goroutines.
+func Parallel(g *parallel.Graph, workers int) []*Race {
+	readers, writers := buckets(g)
+	parts := sched.ChunkMap(sched.New(workers), g.NumShared(),
+		func(lo, hi int) []*Race {
+			return scanVars(g, readers, writers, lo, hi)
+		})
+	var all []*Race
+	for _, part := range parts {
+		all = append(all, part...)
+	}
+	return dedup(all)
 }
 
 func dedup(rs []*Race) []*Race {
-	seen := make(map[string]bool)
+	seen := make(map[pairKey]bool)
 	var out []*Race
 	for _, r := range rs {
-		k := r.key() + r.Kind.String()
+		k := r.key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, r)

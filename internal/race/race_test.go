@@ -10,6 +10,7 @@ import (
 	"ppd/internal/logging"
 	"ppd/internal/parallel"
 	"ppd/internal/vm"
+	"ppd/internal/workloads"
 )
 
 func detect(t *testing.T, src string, opts vm.Options) ([]*Race, *parallel.Graph, *compile.Artifacts) {
@@ -271,4 +272,94 @@ func TestReportRendering(t *testing.T) {
 		t.Errorf("empty report = %s", empty)
 	}
 	_ = logging.OpP
+}
+
+// TestDetectorsEquivalence is the cross-detector golden contract: Naive,
+// Indexed, and Parallel (at several worker counts) must return identical
+// race sets — same order, same pairs, same kinds, same variables — on every
+// standard workload and on a seeded racy one. Determinism is the product:
+// the parallel detector is only admissible because of this test.
+func TestDetectorsEquivalence(t *testing.T) {
+	type caseDef struct {
+		wl      *workloads.Workload
+		quantum int
+		seed    int64
+	}
+	var cases []caseDef
+	for _, wl := range workloads.Standard() {
+		cases = append(cases, caseDef{wl, 3, 0})
+	}
+	cases = append(cases,
+		caseDef{workloads.RacyCounter(4, 6, false), 1, 0},
+		caseDef{workloads.RacyCounter(4, 6, false), 1, 7},
+		caseDef{workloads.RacyCounter(3, 5, true), 1, 3},
+		caseDef{workloads.Sharded(4, 8), 3, 0},
+	)
+	for _, tc := range cases {
+		art, err := compile.CompileSource(tc.wl.Name, tc.wl.Src, eblock.Config{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.wl.Name, err)
+		}
+		v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: tc.quantum, Seed: tc.seed})
+		if err := v.Run(); err != nil {
+			t.Fatalf("%s: run: %v", tc.wl.Name, err)
+		}
+		g := parallel.Build(v.Log, len(art.Prog.Globals))
+		want := Indexed(g)
+		if naive := Naive(g); !sameRaces(want, naive) {
+			t.Errorf("%s seed %d: Naive diverges from Indexed (%d vs %d races)",
+				tc.wl.Name, tc.seed, len(naive), len(want))
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := Parallel(g, workers)
+			if !sameRaces(want, got) {
+				t.Errorf("%s seed %d workers %d: Parallel diverges from Indexed (%d vs %d races)",
+					tc.wl.Name, tc.seed, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// sameRaces compares two detector outputs element-wise: pair, kind, and
+// conflicting variables must all match in order.
+func sameRaces(a, b []*Race) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key() != b[i].key() {
+			return false
+		}
+		if len(a[i].Vars) != len(b[i].Vars) {
+			return false
+		}
+		for j := range a[i].Vars {
+			if a[i].Vars[j] != b[i].Vars[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRacyCounterHasRacesAcrossDetectors seeds a genuinely racy workload
+// and checks all three detectors agree it races.
+func TestRacyCounterHasRacesAcrossDetectors(t *testing.T) {
+	wl := workloads.RacyCounter(3, 4, false)
+	art, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := parallel.Build(v.Log, len(art.Prog.Globals))
+	n, i, p := Naive(g), Indexed(g), Parallel(g, 4)
+	if len(i) == 0 {
+		t.Fatal("unprotected counter must race")
+	}
+	if !sameRaces(i, n) || !sameRaces(i, p) {
+		t.Errorf("detectors disagree: naive=%d indexed=%d parallel=%d", len(n), len(i), len(p))
+	}
 }

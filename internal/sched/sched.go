@@ -1,0 +1,166 @@
+// Package sched is the debugging phase's shared worker pool: a small,
+// bounded fan-out primitive used by parallel graph construction
+// (parallel.Build), the parallel race detector (race.Parallel), and the
+// Controller's cache prefetching.
+//
+// The paper's §7 leaves "reducing the cost of finding all pairs of possible
+// conflicting edges" open, and every debugging-phase analysis here
+// decomposes into independent units (per-process log scans, per-variable
+// conflict buckets, per-interval emulations). sched exploits that: work is
+// split into at most Workers contiguous chunks, each chunk runs on its own
+// goroutine, and results are merged back in index order — so callers get
+// parallel speed with *deterministic* output, the product's core contract.
+//
+// Design rules:
+//
+//   - bounded: never more than Workers goroutines per call, GOMAXPROCS by
+//     default, so nested fan-outs cannot explode;
+//   - degenerate cases run inline: one worker or one item costs no
+//     goroutine, which keeps single-core machines and tiny inputs at
+//     sequential speed;
+//   - panics inside workers are captured and re-raised on the caller's
+//     goroutine, matching sequential semantics;
+//   - merge order is the index order of the input, never completion order.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value is unusable; use New.
+// A Pool carries no goroutines between calls — each fan-out spawns and
+// joins its own workers — so a Pool is safe for concurrent use and costs
+// nothing while idle.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers goroutines per fan-out.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide default pool, sized to GOMAXPROCS. The
+// debugging phase's packages all fan out through this one pool so their
+// combined parallelism stays bounded by the machine, not by the number of
+// subsystems that happen to be busy.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = New(0) })
+	return sharedPool
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// chunks partitions [0, n) into at most p.workers near-equal contiguous
+// ranges, returning the boundary list b with b[0]=0 and b[len-1]=n.
+func (p *Pool) chunks(n int) []int {
+	k := p.workers
+	if k > n {
+		k = n
+	}
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+// Chunks runs fn over at most Workers contiguous, disjoint sub-ranges of
+// [0, n), concurrently, and blocks until all complete. fn(lo, hi) owns
+// [lo, hi). A panic in any chunk is re-raised here.
+func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	bounds := p.chunks(n)
+	var wg sync.WaitGroup
+	panics := make([]any, len(bounds)-1)
+	for c := 0; c < len(bounds)-1; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c] = r
+				}
+			}()
+			fn(bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("sched: worker panic: %v", r))
+		}
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanned out across the pool's
+// workers in contiguous chunks, and blocks until all complete.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.Chunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map computes fn(i) for every i in [0, n) across the pool's workers and
+// returns the results in index order — the deterministic merge.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ChunkMap computes fn over each contiguous chunk of [0, n) and returns the
+// per-chunk results in chunk order. Use it when per-item results would
+// allocate too much and the caller can merge chunk aggregates (e.g. one
+// race slice per variable range).
+func ChunkMap[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		return []T{fn(0, n)}
+	}
+	bounds := p.chunks(n)
+	out := make([]T, len(bounds)-1)
+	var wg sync.WaitGroup
+	panics := make([]any, len(out))
+	for c := range out {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[c] = r
+				}
+			}()
+			out[c] = fn(bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("sched: worker panic: %v", r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d", got)
+	}
+	if Shared() != Shared() {
+		t.Error("Shared must return one process-wide pool")
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			counts := make([]int32, n)
+			New(workers).ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksAreDisjointAndComplete(t *testing.T) {
+	for _, workers := range []int{1, 3, 4, 16} {
+		for _, n := range []int{1, 5, 16, 33} {
+			var mu [64]int32 // covered marks, padded enough for n<=64
+			var calls int32
+			New(workers).Chunks(n, func(lo, hi int) {
+				atomic.AddInt32(&calls, 1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&mu[i], 1)
+				}
+			})
+			if int(calls) > workers {
+				t.Errorf("workers=%d n=%d: %d chunks exceed bound", workers, n, calls)
+			}
+			for i := 0; i < n; i++ {
+				if mu[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, mu[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMapIsDeterministicallyOrdered(t *testing.T) {
+	p := New(8)
+	want := Map(New(1), 50, func(i int) int { return i * i })
+	for rep := 0; rep < 20; rep++ {
+		got := Map(p, 50, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: Map[%d] = %d, want %d", rep, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestChunkMapMergesInChunkOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		parts := ChunkMap(New(workers), 23, func(lo, hi int) []int {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		})
+		var flat []int
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+		if len(flat) != 23 {
+			t.Fatalf("workers=%d: merged %d items, want 23", workers, len(flat))
+		}
+		for i, v := range flat {
+			if v != i {
+				t.Fatalf("workers=%d: merge out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to caller")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	New(4).ForEach(8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
