@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench pardebug
+.PHONY: all build test race vet fmt check cover ci bench pardebug obsoverhead
 
 all: build
 
@@ -32,9 +32,28 @@ fmt:
 check: vet fmt build race
 	@echo "check: OK"
 
+# Coverage profile + per-package summary. internal/obs is the metrics
+# contract every phase reports through, so it carries a hard floor.
+OBS_COVER_FLOOR = 80
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@obs=$$($(GO) test -cover ./internal/obs/ | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) print $$i}' | tr -d '%' | cut -d. -f1); \
+	if [ "$$obs" -lt "$(OBS_COVER_FLOOR)" ]; then \
+		echo "cover: internal/obs coverage $$obs% is below the $(OBS_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/obs $$obs% (floor $(OBS_COVER_FLOOR)%)"
+
+ci: check cover
+	@echo "ci: OK"
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Regenerate the E13 parallel-debugging-phase table.
 pardebug: build
 	$(GO) run ./cmd/ppdbench pardebug
+
+# Regenerate the E14 observability-overhead table.
+obsoverhead: build
+	$(GO) run ./cmd/ppdbench obsoverhead

@@ -14,6 +14,7 @@ import (
 	"ppd/internal/controller"
 	"ppd/internal/eblock"
 	"ppd/internal/emulation"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/replay"
@@ -242,4 +243,52 @@ func BenchmarkLogVsTraceSize(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- E14: observability overhead --------------------------------------------
+
+// BenchmarkObsOverhead proves the obs cost contract: with a nil sink the
+// instrumented paths (vm logged run, parallel race detection) run at the
+// same speed as before the layer existed — the disabled path is a nil check,
+// not a measurement. Compare obs=off vs obs=on within each pair; the ISSUE
+// acceptance bound is <= 2% for the off case relative to the seed.
+func BenchmarkObsOverhead(b *testing.B) {
+	w := workloads.Matmul(16)
+	art := mustCompile(b, w, eblock.DefaultConfig())
+	b.Run("vm/obs=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runVM(b, art, vm.ModeLog)
+		}
+	})
+	b.Run("vm/obs=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000, Obs: obs.New()})
+			if err := v.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rw := workloads.Sharded(8, 80)
+	rart := mustCompile(b, rw, eblock.Config{})
+	rv := vm.New(rart.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+	if err := rv.Run(); err != nil {
+		b.Fatal(err)
+	}
+	g := parallel.Build(rv.Log, len(rart.Prog.Globals))
+	b.Run("race/obs=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rs := race.Parallel(g, 4); len(rs) != 0 {
+				b.Fatal("sharded workload should be race-free")
+			}
+		}
+	})
+	b.Run("race/obs=on", func(b *testing.B) {
+		sink := obs.New()
+		for i := 0; i < b.N; i++ {
+			if rs := race.ParallelObs(g, 4, sink); len(rs) != 0 {
+				b.Fatal("sharded workload should be race-free")
+			}
+		}
+	})
 }

@@ -6,6 +6,7 @@
 //	ppd run prog.mpl [flags]        execution phase (optionally logged)
 //	ppd debug prog.mpl [flags]      run logged, then interactive flowback
 //	ppd races prog.mpl [flags]      run logged, then race detection
+//	ppd stats prog.mpl [flags]      all three phases, then the obs snapshot
 //
 // Example:
 //
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"ppd"
 	"ppd/internal/ast"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
@@ -47,6 +49,8 @@ func main() {
 		err = cmdDebug(args)
 	case "races":
 		err = cmdRaces(args)
+	case "stats":
+		err = cmdStats(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -68,6 +72,8 @@ commands:
   run       execute the program (flags: -seed -quantum -mode run|log|trace)
   debug     execute logged, then start the interactive flowback debugger
   races     execute logged, then detect races (flags: -seed -sweep N)
+  stats     run all three phases and print the observability snapshot
+            (flags: -seed -quantum -json -trace)
 `)
 }
 
@@ -199,6 +205,48 @@ func cmdDebug(args []string) error {
 		return err
 	}
 	return sess.Run(os.Stdin, os.Stdout)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	seed, quantum := vmFlags(fs)
+	jsonOut := fs.Bool("json", false, "emit the snapshot as JSON")
+	trace := fs.Bool("trace", false, "stream phase-scope events to stderr")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: need one source file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := ppd.Compile(fs.Arg(0), string(data))
+	if err != nil {
+		return err
+	}
+	opts := ppd.Options{Seed: *seed, Quantum: *quantum}
+	if *trace {
+		opts.Trace = os.Stderr
+	}
+	exec, err := prog.RunLogged(opts)
+	if err != nil {
+		return err
+	}
+	// Exercise the debugging phase so debug.*, sched.*, and race.* report:
+	// race detection plus one flowback graph build.
+	_ = exec.Races()
+	_, _, _ = exec.Controller().CurrentGraph(0)
+	st := exec.Stats()
+	if *jsonOut {
+		b, err := st.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Print(st.Text())
+	return nil
 }
 
 func cmdRaces(args []string) error {

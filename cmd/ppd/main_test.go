@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -138,5 +139,47 @@ func TestLoadFileErrors(t *testing.T) {
 	}
 	if _, err := compileFile(writeProgram(t, `func main() { x = ; }`)); err == nil {
 		t.Error("expected compile error")
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	path := writeProgram(t, `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); print(counter); }`)
+
+	out := withStdout(t, func() {
+		if err := cmdStats([]string{"-quantum", "1", path}); err != nil {
+			t.Errorf("stats: %v", err)
+		}
+	})
+	for _, want := range []string{"counters:", "timers:",
+		"compile.instrs", "exec.steps", "exec.log.bytes", "race.pairs", "debug.emulate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonOut := withStdout(t, func() {
+		if err := cmdStats([]string{"-quantum", "1", "-json", path}); err != nil {
+			t.Errorf("stats -json: %v", err)
+		}
+	})
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &snap); err != nil {
+		t.Fatalf("stats -json produced invalid JSON: %v\n%s", err, jsonOut)
+	}
+	if snap.Counters["exec.steps"] == 0 || snap.Counters["race.races"] == 0 {
+		t.Errorf("JSON counters incomplete: %v", snap.Counters)
+	}
+
+	if err := cmdStats(nil); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := cmdStats([]string{"/nonexistent.mpl"}); err == nil {
+		t.Error("expected error for missing file")
 	}
 }

@@ -11,6 +11,7 @@
 //	ppdbench races        E7  race detection on racy/race-free programs
 //	ppdbench pardebug     E13 parallel debugging phase: sharded race
 //	                      detection worker sweep + memoized emulation
+//	ppdbench obsoverhead  E14 observability layer cost: obs off vs. on
 //	ppdbench all          everything
 package main
 
@@ -28,6 +29,7 @@ import (
 	"ppd/internal/eblock"
 	"ppd/internal/emulation"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/replay"
@@ -59,6 +61,7 @@ func main() {
 	run("races", racesBench)
 	run("shprelog", shprelogAblation)
 	run("pardebug", pardebug)
+	run("obsoverhead", obsOverhead)
 }
 
 // timeRun executes the program under the given mode and returns the best-
@@ -472,4 +475,50 @@ func pardebug(w io.Writer) {
 		})
 		fmt.Fprintf(w, "%-10s %14v %14v %14v\n", wl.Name, cold, cached, pre)
 	}
+}
+
+// obsOverhead is E14: the observability layer's cost contract. Column
+// "obs=off" runs the instrumented code paths with a nil sink (the shipped
+// default for library users who never ask for stats); "obs=on" attaches a
+// live sink. The contract is that obs=off matches the pre-obs numbers and
+// obs=on stays within a few percent — the hot loops carry no instrumentation
+// either way (counters fold in at operation end).
+func obsOverhead(w io.Writer) {
+	fmt.Fprintln(w, "=== E14: observability overhead (cost contract: disabled = nil checks only) ===")
+	fmt.Fprintf(w, "%-24s %12s %12s %9s\n", "path", "obs=off", "obs=on", "delta")
+
+	// Execution phase: a compute-bound logged run.
+	wl := workloads.Matmul(16)
+	inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	tOff := timeRun(inst, vm.ModeLog, reps)
+	tOn := bestOf(reps, func() {
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000, Obs: obs.New()})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Fprintf(w, "%-24s %12v %12v %8.1f%%\n", "vm logged run (matmul)", tOff, tOn,
+		100*float64(tOn-tOff)/float64(tOff))
+
+	// Debugging phase: the sharded race detector.
+	rwl := workloads.Sharded(8, 80)
+	rinst, err := compile.CompileSource(rwl.Name, rwl.Src, eblock.Config{})
+	if err != nil {
+		panic(err)
+	}
+	rv := vm.New(rinst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+	if err := rv.Run(); err != nil {
+		panic(err)
+	}
+	g := parallel.Build(rv.Log, len(rinst.Prog.Globals))
+	race.Parallel(g, 4) // warmup
+	rOff := bestOf(4*reps, func() { race.Parallel(g, 4) })
+	sink := obs.New()
+	race.ParallelObs(g, 4, sink) // warmup
+	rOn := bestOf(4*reps, func() { race.ParallelObs(g, 4, sink) })
+	fmt.Fprintf(w, "%-24s %12v %12v %8.1f%%\n", "race.Parallel w=4", rOff, rOn,
+		100*float64(rOn-rOff)/float64(rOff))
 }

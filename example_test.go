@@ -1,0 +1,62 @@
+package ppd_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"ppd"
+)
+
+// ExampleExecution_Stats runs all three phases and reads selected counters
+// from the merged snapshot. Counter values that depend only on the program
+// (process count, race count) are deterministic; timings are not, so the
+// example prints none.
+func ExampleExecution_Stats() {
+	prog, err := ppd.Compile("stats.mpl", `
+sem done = 0;
+func w() { V(done); }
+func main() { spawn w(); P(done); }`)
+	if err != nil {
+		panic(err)
+	}
+	exec, err := prog.RunLogged(ppd.Options{Output: io.Discard})
+	if err != nil {
+		panic(err)
+	}
+	_ = exec.Races() // exercise the debugging phase so debug.*/race.* report
+
+	st := exec.Stats()
+	fmt.Println("processes:", st.Counter("exec.procs"))
+	fmt.Println("races:", st.Counter("race.races"))
+	fmt.Println("detector runs:", st.Counter("race.runs"))
+	fmt.Println("log bytes recorded:", st.Counter("exec.log.bytes") > 0)
+	// Output:
+	// processes: 2
+	// races: 0
+	// detector runs: 1
+	// log bytes recorded: true
+}
+
+// ExampleOptions_trace streams phase-scope events while the execution and
+// debugging phases run. Each line carries an elapsed timestamp, so the
+// example checks for the scope markers rather than printing the stream.
+func ExampleOptions_trace() {
+	prog, err := ppd.Compile("trace.mpl", `func main() { print(6 * 7); }`)
+	if err != nil {
+		panic(err)
+	}
+	var trace bytes.Buffer
+	exec, err := prog.RunLogged(ppd.Options{Output: io.Discard, Trace: &trace})
+	if err != nil {
+		panic(err)
+	}
+	_ = exec.Races()
+
+	fmt.Println(strings.Contains(trace.String(), "begin exec.run"))
+	fmt.Println(strings.Contains(trace.String(), "end   debug.build"))
+	// Output:
+	// true
+	// true
+}

@@ -9,6 +9,7 @@ import (
 	"ppd/internal/ast"
 	"ppd/internal/bytecode"
 	"ppd/internal/eblock"
+	"ppd/internal/obs"
 	"ppd/internal/parser"
 	"ppd/internal/pdg"
 	"ppd/internal/progdb"
@@ -30,29 +31,16 @@ type Artifacts struct {
 // Compile runs parse → check → static analysis → e-block planning →
 // code generation. On front-end errors it returns the error list's error.
 func Compile(file *source.File, cfg eblock.Config) (*Artifacts, error) {
-	errs := &source.ErrorList{}
-	prog := parser.Parse(file, errs)
-	info := sem.Check(prog, errs)
-	if err := errs.Err(); err != nil {
-		return nil, err
-	}
-	p := pdg.Build(info)
-	plan := eblock.Build(p, cfg)
-	db := progdb.Build(p, plan)
+	return CompileWithObs(file, cfg, nil)
+}
 
-	c := &compiler{
-		info: info,
-		pdg:  p,
-		plan: plan,
-		out: &bytecode.Program{
-			FuncIdx: make(map[string]int),
-			MainIdx: -1,
-		},
-	}
-	if err := c.run(); err != nil {
-		return nil, err
-	}
-	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+// CompileWithObs is Compile reporting preparatory-phase metrics to sink:
+// one "compile.<pass>" scope per pipeline pass and the artifact-size
+// counters (functions, globals, instructions, PDG units and data
+// dependences, e-blocks, shared-prelog sites). A nil sink disables
+// observation.
+func CompileWithObs(file *source.File, cfg eblock.Config, sink *obs.Sink) (*Artifacts, error) {
+	return compilePipeline(file, cfg, pipelineOpts{crossWriteFilter: true, sink: sink})
 }
 
 // CompileSource is a convenience wrapper over Compile for tests and tools.
@@ -63,28 +51,7 @@ func CompileSource(name, src string, cfg eblock.Config) (*Artifacts, error) {
 // CompileUnfiltered compiles with the literal-§5.5 shared prelogs (no
 // cross-write filtering) — the baseline of the shared-prelog ablation.
 func CompileUnfiltered(file *source.File, cfg eblock.Config) (*Artifacts, error) {
-	errs := &source.ErrorList{}
-	prog := parser.Parse(file, errs)
-	info := sem.Check(prog, errs)
-	if err := errs.Err(); err != nil {
-		return nil, err
-	}
-	p := pdg.BuildWithFilter(info, false)
-	plan := eblock.Build(p, cfg)
-	db := progdb.Build(p, plan)
-	c := &compiler{
-		info: info,
-		pdg:  p,
-		plan: plan,
-		out: &bytecode.Program{
-			FuncIdx: make(map[string]int),
-			MainIdx: -1,
-		},
-	}
-	if err := c.run(); err != nil {
-		return nil, err
-	}
-	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+	return compilePipeline(file, cfg, pipelineOpts{})
 }
 
 // CompileBare compiles without any instrumentation markers: no prelog,
@@ -93,29 +60,92 @@ func CompileUnfiltered(file *source.File, cfg eblock.Config) (*Artifacts, error)
 // comparing against ModeRun over instrumented code would hide the marker
 // dispatch cost.
 func CompileBare(file *source.File) (*Artifacts, error) {
+	return compilePipeline(file, eblock.Config{}, pipelineOpts{crossWriteFilter: true, noInstr: true})
+}
+
+// pipelineOpts selects the pipeline variant; the passes themselves are
+// identical across Compile / CompileUnfiltered / CompileBare.
+type pipelineOpts struct {
+	crossWriteFilter bool
+	noInstr          bool
+	sink             *obs.Sink
+}
+
+func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Artifacts, error) {
+	total := po.sink.Scope("compile.total")
+	defer total.End()
+
+	pass := func(name string) obs.Scope { return po.sink.Scope("compile." + name) }
+
+	sc := pass("parse")
 	errs := &source.ErrorList{}
 	prog := parser.Parse(file, errs)
+	sc.End()
+
+	sc = pass("check")
 	info := sem.Check(prog, errs)
+	sc.End()
 	if err := errs.Err(); err != nil {
 		return nil, err
 	}
-	p := pdg.Build(info)
-	plan := eblock.Build(p, eblock.Config{})
+
+	sc = pass("pdg")
+	p := pdg.BuildWithFilter(info, po.crossWriteFilter)
+	sc.End()
+
+	sc = pass("eblock")
+	plan := eblock.Build(p, cfg)
+	sc.End()
+
+	sc = pass("progdb")
 	db := progdb.Build(p, plan)
+	sc.End()
+
+	sc = pass("codegen")
 	c := &compiler{
 		info:    info,
 		pdg:     p,
 		plan:    plan,
-		noInstr: true,
+		noInstr: po.noInstr,
 		out: &bytecode.Program{
 			FuncIdx: make(map[string]int),
 			MainIdx: -1,
 		},
 	}
-	if err := c.run(); err != nil {
+	err := c.run()
+	sc.End()
+	if err != nil {
 		return nil, err
 	}
-	return &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}, nil
+	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}
+	foldArtifactSizes(po.sink, art)
+	return art, nil
+}
+
+// foldArtifactSizes publishes the preparatory phase's static sizes — the
+// quantities E4/E6 reason about — as counters.
+func foldArtifactSizes(sink *obs.Sink, art *Artifacts) {
+	if sink == nil {
+		return
+	}
+	sink.Counter("compile.funcs").Add(int64(len(art.Prog.Funcs)))
+	sink.Counter("compile.globals").Add(int64(len(art.Prog.Globals)))
+	sink.Counter("compile.instrs").Add(int64(art.Prog.NumInstrs()))
+	sink.Counter("compile.eblocks").Add(int64(len(art.Plan.Blocks)))
+	sink.Counter("compile.eblocks.inlined").Add(int64(len(art.Plan.Inlined)))
+	var units, edges, deps, sites int
+	for _, f := range art.PDG.Funcs {
+		units += len(f.Simple.Units)
+		edges += len(f.Simple.Edges)
+		deps += len(f.DataDeps)
+	}
+	for _, f := range art.Prog.Funcs {
+		sites += len(f.Units)
+	}
+	sink.Counter("compile.pdg.units").Add(int64(units))
+	sink.Counter("compile.pdg.edges").Add(int64(edges))
+	sink.Counter("compile.pdg.datadeps").Add(int64(deps))
+	sink.Counter("compile.shprelog.sites").Add(int64(sites))
 }
 
 // CompileBareSource is the string-input variant of CompileBare.

@@ -7,6 +7,8 @@ import (
 	"ppd/internal/ast"
 	"ppd/internal/bytecode"
 	"ppd/internal/eblock"
+	"ppd/internal/obs"
+	"ppd/internal/source"
 )
 
 func mustCompile(t *testing.T, src string, cfg eblock.Config) *Artifacts {
@@ -273,5 +275,56 @@ func main() {
 	}
 	if count(lit) == 0 {
 		t.Error("literal variant should log the unit reads")
+	}
+}
+
+func TestCompileWithObsReportsArtifactSizes(t *testing.T) {
+	sink := obs.New()
+	src := `
+shared sv;
+sem done = 0;
+func w() { sv = sv + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); print(sv); }`
+	art, err := CompileWithObs(source.NewFile("obs.mpl", src), eblock.DefaultConfig(), sink)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counter("compile.funcs"); got != int64(len(art.Prog.Funcs)) {
+		t.Errorf("compile.funcs = %d, want %d", got, len(art.Prog.Funcs))
+	}
+	if got := snap.Counter("compile.instrs"); got != int64(art.Prog.NumInstrs()) {
+		t.Errorf("compile.instrs = %d, want %d", got, art.Prog.NumInstrs())
+	}
+	if got := snap.Counter("compile.eblocks"); got != int64(len(art.Plan.Blocks)) {
+		t.Errorf("compile.eblocks = %d, want %d", got, len(art.Plan.Blocks))
+	}
+	if snap.Counter("compile.pdg.units") == 0 || snap.Counter("compile.pdg.edges") == 0 {
+		t.Error("static PDG sizes not reported")
+	}
+	if snap.Counter("compile.shprelog.sites") == 0 {
+		t.Error("shared-prelog sites not reported (program has a shared variable)")
+	}
+	// Every pass reported a timing, and the passes nest inside the total.
+	for _, name := range []string{"compile.parse", "compile.check", "compile.pdg",
+		"compile.eblock", "compile.progdb", "compile.codegen", "compile.total"} {
+		if snap.Timer(name).Count != 1 {
+			t.Errorf("timer %s observed %d times, want 1", name, snap.Timer(name).Count)
+		}
+	}
+}
+
+func TestCompileWithObsNilSinkMatchesCompile(t *testing.T) {
+	src := `func main() { print(2); }`
+	a, err := CompileSource("a.mpl", src, eblock.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileWithObs(source.NewFile("a.mpl", src), eblock.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.Disasm() != b.Prog.Disasm() {
+		t.Error("CompileWithObs(nil sink) produced different bytecode than Compile")
 	}
 }

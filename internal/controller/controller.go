@@ -22,6 +22,7 @@ import (
 	"ppd/internal/dynpdg"
 	"ppd/internal/emulation"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/sched"
@@ -51,6 +52,14 @@ type Controller struct {
 	emus   []*emulation.Emulator
 	pool   *sched.Pool
 
+	// Observability (nil / no-op when disabled). The counters are resolved
+	// once at construction so query paths never do name lookups.
+	obs     *obs.Sink
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+	cEvicts *obs.Counter
+	tEmu    *obs.Timer
+
 	// mu guards cache and races. Emulation itself runs outside the lock
 	// so concurrent misses on different intervals proceed in parallel.
 	mu sync.Mutex
@@ -64,24 +73,68 @@ type Controller struct {
 	racesDone bool
 }
 
-// New builds a controller from the compiled artifacts and an execution's
-// logs. failure and deadlock describe how the execution ended.
-// Per-process work (emulator construction, the parallel graph's pass 1)
-// fans out across the shared worker pool.
-func New(art *compile.Artifacts, pl *logging.ProgramLog, failure *vm.RuntimeError, deadlock bool) *Controller {
+// Config tunes a controller. The zero value reproduces the defaults the
+// positional constructor used to hard-code: a clean-exit execution, the
+// shared GOMAXPROCS pool, DefaultCacheBound, no observation.
+type Config struct {
+	// Failure is the runtime error that halted execution, if any.
+	Failure *vm.RuntimeError
+	// Deadlock reports whether execution ended with blocked processes.
+	Deadlock bool
+	// Workers bounds the debugging phase's fan-out for this controller.
+	// <= 0 uses the process-wide shared pool (GOMAXPROCS workers).
+	Workers int
+	// CacheBound caps the interval LRU: 0 means DefaultCacheBound, < 0
+	// removes the bound, > 0 is the bound itself.
+	CacheBound int
+	// Obs receives debugging-phase metrics (debug.*, sched.*, race.*).
+	// nil disables observation at the cost of one nil check per query.
+	Obs *obs.Sink
+}
+
+// NewWithConfig builds a controller from the compiled artifacts and an
+// execution's logs. Per-process work (emulator construction, the parallel
+// graph's pass 1) fans out across the configured worker pool.
+func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *Controller {
+	bound := cfg.CacheBound
+	if bound == 0 {
+		bound = DefaultCacheBound
+	}
 	c := &Controller{
 		Art:      art,
 		Log:      pl,
-		Failure:  failure,
-		Deadlock: deadlock,
-		pool:     sched.Shared(),
-		cache:    newIntervalLRU(DefaultCacheBound),
+		Failure:  cfg.Failure,
+		Deadlock: cfg.Deadlock,
+		cache:    newIntervalLRU(bound),
 	}
+	switch {
+	case cfg.Workers > 0 || cfg.Obs != nil:
+		// A private pool: either the caller bounded the fan-out, or pool
+		// utilization must be observable (the shared pool is unobserved).
+		c.pool = sched.NewObs(cfg.Workers, cfg.Obs)
+	default:
+		c.pool = sched.Shared()
+	}
+	if cfg.Obs != nil {
+		c.obs = cfg.Obs
+		c.cHits = cfg.Obs.Counter("debug.cache.hits")
+		c.cMisses = cfg.Obs.Counter("debug.cache.misses")
+		c.cEvicts = cfg.Obs.Counter("debug.cache.evictions")
+		c.tEmu = cfg.Obs.Timer("debug.emulate")
+	}
+	sc := c.obs.Scope("debug.build")
 	c.emus = sched.Map(c.pool, len(pl.Books), func(pid int) *emulation.Emulator {
 		return emulation.New(art.Prog, pl.Books[pid])
 	})
-	c.pgraph = parallel.Build(pl, len(art.Prog.Globals))
+	c.pgraph = parallel.BuildWithPool(pl, len(art.Prog.Globals), c.pool)
+	sc.End()
 	return c
+}
+
+// New is the thin compatibility constructor predating Config: failure and
+// deadlock describe how the execution ended, everything else defaults.
+func New(art *compile.Artifacts, pl *logging.ProgramLog, failure *vm.RuntimeError, deadlock bool) *Controller {
+	return NewWithConfig(art, pl, Config{Failure: failure, Deadlock: deadlock})
 }
 
 // SetCacheBound resizes the interval cache (entries beyond the new bound
@@ -89,7 +142,7 @@ func New(art *compile.Artifacts, pl *logging.ProgramLog, failure *vm.RuntimeErro
 func (c *Controller) SetCacheBound(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cache.setCap(n)
+	c.cEvicts.Add(int64(c.cache.setCap(n)))
 }
 
 // Emulations returns the total number of VM re-executions performed across
@@ -105,6 +158,15 @@ func (c *Controller) Emulations() int64 {
 // FromRun is a convenience constructor from a finished ModeLog VM.
 func FromRun(art *compile.Artifacts, v *vm.VM) *Controller {
 	return New(art, v.Log, v.Failure, v.Deadlock)
+}
+
+// FromRunConfig builds a controller from a finished ModeLog VM, taking the
+// execution outcome from the VM and everything else from cfg (whose Failure
+// and Deadlock fields are overwritten).
+func FromRunConfig(art *compile.Artifacts, v *vm.VM, cfg Config) *Controller {
+	cfg.Failure = v.Failure
+	cfg.Deadlock = v.Deadlock
+	return NewWithConfig(art, v.Log, cfg)
 }
 
 // NumProcs returns the number of processes in the execution.
@@ -124,7 +186,7 @@ func (c *Controller) Races() []*race.Race {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.racesDone {
-		c.races = race.Parallel(c.pgraph, c.pool.Workers())
+		c.races = race.ParallelObs(c.pgraph, c.pool.Workers(), c.obs)
 		c.racesDone = true
 	}
 	return c.races
@@ -200,11 +262,15 @@ func (c *Controller) interval(pid, prelogIdx int) (*intervalEntry, error) {
 	c.mu.Lock()
 	if ent, ok := c.cache.get(key); ok {
 		c.mu.Unlock()
+		c.cHits.Inc()
 		return ent, nil
 	}
 	c.mu.Unlock()
+	c.cMisses.Inc()
 
+	sw := c.tEmu.Start()
 	res, err := c.emus[pid].Emulate(prelogIdx)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +283,7 @@ func (c *Controller) interval(pid, prelogIdx int) (*intervalEntry, error) {
 	if prev, ok := c.cache.get(key); ok {
 		return prev, nil // lost a concurrent miss: keep the first entry
 	}
-	c.cache.add(key, ent)
+	c.cEvicts.Add(int64(c.cache.add(key, ent)))
 	return ent, nil
 }
 

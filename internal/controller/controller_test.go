@@ -9,6 +9,8 @@ import (
 	"ppd/internal/dynpdg"
 	"ppd/internal/eblock"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
+	"ppd/internal/sched"
 	"ppd/internal/vm"
 )
 
@@ -485,4 +487,156 @@ func main() {
 		}(k)
 	}
 	wg.Wait()
+}
+
+// sessionConfig is session with an explicit Config.
+func sessionConfig(t *testing.T, src string, opts vm.Options, cfg Config) *Controller {
+	t.Helper()
+	art, err := compile.CompileSource("test.mpl", src, eblock.Config{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts.Mode = vm.ModeLog
+	v := vm.New(art.Prog, opts)
+	_ = v.Run()
+	return FromRunConfig(art, v, cfg)
+}
+
+// prelogIndices lists the record indices of every prelog in pid's book.
+func prelogIndices(c *Controller, pid int) []int {
+	var out []int
+	for i, r := range c.Log.Books[pid].Records {
+		if r.Kind == logging.RecPrelog {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+const multiIntervalSrc = `
+var g;
+func f() { g = g + 1; }
+func main() { f(); f(); f(); print(g); }`
+
+func TestConfigCacheCountersAndEvictions(t *testing.T) {
+	sink := obs.New()
+	c := sessionConfig(t, multiIntervalSrc, vm.Options{}, Config{CacheBound: 1, Obs: sink})
+	idxs := prelogIndices(c, 0)
+	if len(idxs) < 3 {
+		t.Fatalf("need >= 3 intervals, got %d", len(idxs))
+	}
+	// Bound 1: each distinct interval misses and evicts its predecessor.
+	for _, idx := range idxs[:3] {
+		if _, err := c.Graph(0, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-querying the most recent interval hits; an older one misses again.
+	if _, err := c.Graph(0, idxs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Graph(0, idxs[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	if got := snap.Counter("debug.cache.hits"); got != 1 {
+		t.Errorf("debug.cache.hits = %d, want 1", got)
+	}
+	if got := snap.Counter("debug.cache.misses"); got != 4 {
+		t.Errorf("debug.cache.misses = %d, want 4", got)
+	}
+	if got := snap.Counter("debug.cache.evictions"); got != 3 {
+		t.Errorf("debug.cache.evictions = %d, want 3", got)
+	}
+	if got, want := snap.Timer("debug.emulate").Count, snap.Counter("debug.cache.misses"); got != want {
+		t.Errorf("debug.emulate count = %d, want one per miss (%d)", got, want)
+	}
+	if snap.Timer("debug.build").Count != 1 {
+		t.Error("debug.build scope not observed")
+	}
+}
+
+func TestConfigUnboundedCacheNeverEvicts(t *testing.T) {
+	sink := obs.New()
+	c := sessionConfig(t, multiIntervalSrc, vm.Options{}, Config{CacheBound: -1, Obs: sink})
+	for _, idx := range prelogIndices(c, 0) {
+		if _, err := c.Graph(0, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.Snapshot().Counter("debug.cache.evictions"); got != 0 {
+		t.Errorf("debug.cache.evictions = %d, want 0 (unbounded)", got)
+	}
+	if c.cache.len() != len(prelogIndices(c, 0)) {
+		t.Errorf("cache len = %d, want every interval retained", c.cache.len())
+	}
+}
+
+func TestSetCacheBoundCountsEvictions(t *testing.T) {
+	sink := obs.New()
+	c := sessionConfig(t, multiIntervalSrc, vm.Options{}, Config{CacheBound: -1, Obs: sink})
+	idxs := prelogIndices(c, 0)
+	for _, idx := range idxs {
+		if _, err := c.Graph(0, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetCacheBound(1)
+	if got, want := sink.Snapshot().Counter("debug.cache.evictions"), int64(len(idxs)-1); got != want {
+		t.Errorf("debug.cache.evictions after SetCacheBound(1) = %d, want %d", got, want)
+	}
+}
+
+func TestConfigWorkersSelectsPrivatePool(t *testing.T) {
+	c := sessionConfig(t, multiIntervalSrc, vm.Options{}, Config{Workers: 3})
+	if c.pool == sched.Shared() {
+		t.Error("Workers > 0 must not use the shared pool")
+	}
+	if c.pool.Workers() != 3 {
+		t.Errorf("pool workers = %d, want 3", c.pool.Workers())
+	}
+	// Zero config uses the shared pool (the historical default).
+	c2 := sessionConfig(t, multiIntervalSrc, vm.Options{}, Config{})
+	if c2.pool != sched.Shared() {
+		t.Error("zero Config must keep the shared pool")
+	}
+}
+
+func TestNewCompatEqualsZeroConfig(t *testing.T) {
+	src := multiIntervalSrc
+	art, err := compile.CompileSource("test.mpl", src, eblock.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog})
+	_ = v.Run()
+	a := New(art, v.Log, v.Failure, v.Deadlock)
+	b := NewWithConfig(art, v.Log, Config{Failure: v.Failure, Deadlock: v.Deadlock})
+	if a.Summary() != b.Summary() {
+		t.Errorf("summaries diverge:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+	if a.RaceReport() != b.RaceReport() {
+		t.Errorf("race reports diverge")
+	}
+}
+
+func TestRacesRunsDetectorOnce(t *testing.T) {
+	src := `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`
+	sink := obs.New()
+	c := sessionConfig(t, src, vm.Options{Quantum: 1}, Config{Obs: sink})
+	r1 := c.Races()
+	r2 := c.Races()
+	if len(r1) == 0 {
+		t.Fatal("expected races")
+	}
+	if &r1[0] != &r2[0] {
+		t.Error("repeated Races() returned a different slice (not memoized)")
+	}
+	if got := sink.Snapshot().Counter("race.runs"); got != 1 {
+		t.Errorf("race.runs = %d, want 1 (detector must run once)", got)
+	}
 }

@@ -45,32 +45,36 @@ func (c *intervalLRU) get(key [2]int) (*intervalEntry, bool) {
 }
 
 // add inserts an entry, evicting the least-recently-used entries beyond
-// the capacity bound.
-func (c *intervalLRU) add(key [2]int, ent *intervalEntry) {
+// the capacity bound. It returns how many entries were evicted.
+func (c *intervalLRU) add(key [2]int, ent *intervalEntry) int {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruSlot).ent = ent
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruSlot{key: key, ent: ent})
-	c.evict()
+	return c.evict()
 }
 
-func (c *intervalLRU) evict() {
+func (c *intervalLRU) evict() int {
 	if c.cap <= 0 {
-		return
+		return 0
 	}
+	n := 0
 	for c.order.Len() > c.cap {
 		el := c.order.Back()
 		delete(c.items, el.Value.(*lruSlot).key)
 		c.order.Remove(el)
+		n++
 	}
+	return n
 }
 
 // setCap changes the bound, evicting immediately if the cache is over it.
-func (c *intervalLRU) setCap(capacity int) {
+// It returns how many entries were evicted.
+func (c *intervalLRU) setCap(capacity int) int {
 	c.cap = capacity
-	c.evict()
+	return c.evict()
 }
 
 func (c *intervalLRU) len() int { return c.order.Len() }

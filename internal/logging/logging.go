@@ -119,6 +119,9 @@ const (
 	RecExit                 // process exit (flushes the last internal edge)
 )
 
+// NumKinds is the number of record kinds (for per-kind accounting arrays).
+const NumKinds = 6
+
 func (k Kind) String() string {
 	switch k {
 	case RecPrelog:
@@ -258,6 +261,59 @@ func (pl *ProgramLog) SizeBytes() int {
 		}
 	}
 	return total
+}
+
+// Stats is the log's per-record-kind accounting: how many records of each
+// kind the execution phase generated and their encoded size. It is
+// computed by walking the retained log after the run — the paper's "small
+// log" claim is measured without adding a single instruction to the
+// logging hot path.
+type Stats struct {
+	Records [NumKinds]int // record count per Kind
+	Bytes   [NumKinds]int // encoded bytes per Kind
+}
+
+// TotalRecords sums the per-kind record counts.
+func (s Stats) TotalRecords() int {
+	n := 0
+	for _, c := range s.Records {
+		n += c
+	}
+	return n
+}
+
+// TotalBytes sums the per-kind encoded sizes (equals SizeBytes).
+func (s Stats) TotalBytes() int {
+	n := 0
+	for _, c := range s.Bytes {
+		n += c
+	}
+	return n
+}
+
+// Stats accounts the whole log by record kind.
+func (pl *ProgramLog) Stats() Stats {
+	var s Stats
+	for _, b := range pl.Books {
+		bs := b.Stats()
+		for k := 0; k < NumKinds; k++ {
+			s.Records[k] += bs.Records[k]
+			s.Bytes[k] += bs.Bytes[k]
+		}
+	}
+	return s
+}
+
+// Stats accounts one book by record kind.
+func (b *Book) Stats() Stats {
+	var s Stats
+	for _, r := range b.Records {
+		if int(r.Kind) < NumKinds {
+			s.Records[r.Kind]++
+			s.Bytes[r.Kind] += r.sizeBytes()
+		}
+	}
+	return s
 }
 
 func (r *Record) sizeBytes() int {

@@ -248,3 +248,47 @@ func TestBookForGrowsSparsely(t *testing.T) {
 		t.Error("intermediate book wrong")
 	}
 }
+
+func TestStatsAccountsEveryKind(t *testing.T) {
+	pl := sampleLog()
+	st := pl.Stats()
+	if got, want := st.TotalBytes(), pl.SizeBytes(); got != want {
+		t.Errorf("Stats().TotalBytes() = %d, SizeBytes() = %d", got, want)
+	}
+	total := 0
+	for _, b := range pl.Books {
+		total += b.Len()
+	}
+	if got := st.TotalRecords(); got != total {
+		t.Errorf("Stats().TotalRecords() = %d, want %d", got, total)
+	}
+	// Per-kind counts match a manual walk.
+	var records [NumKinds]int
+	for _, b := range pl.Books {
+		for _, r := range b.Records {
+			records[r.Kind]++
+		}
+	}
+	if st.Records != records {
+		t.Errorf("per-kind records = %v, want %v", st.Records, records)
+	}
+	// Book stats sum to program stats.
+	var sum Stats
+	for _, b := range pl.Books {
+		bs := b.Stats()
+		for k := 0; k < NumKinds; k++ {
+			sum.Records[k] += bs.Records[k]
+			sum.Bytes[k] += bs.Bytes[k]
+		}
+	}
+	if sum != st {
+		t.Errorf("sum of Book stats = %v, want %v", sum, st)
+	}
+}
+
+func TestStatsEmptyLog(t *testing.T) {
+	st := NewProgramLog().Stats()
+	if st.TotalRecords() != 0 || st.TotalBytes() != 0 {
+		t.Errorf("empty log stats = %v", st)
+	}
+}

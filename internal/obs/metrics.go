@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil *Counter is
+// valid and all its methods are no-ops — instrumented code holds whatever
+// Sink.Counter returned and never branches on whether observation is on.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// timerBuckets is the number of log2 duration buckets a Timer keeps:
+// bucket i counts observations with duration < 2^(i+1) ns that did not fit
+// an earlier bucket, so the histogram spans 1ns to ~2s with the final
+// bucket absorbing everything longer.
+const timerBuckets = 31
+
+// Timer accumulates durations: count, total, min, max, and a log2-bucket
+// histogram. The nil *Timer is valid and all its methods are no-ops.
+// Timers are created by Sink.Timer (the zero value has a wrong min
+// sentinel; do not construct Timers directly).
+type Timer struct {
+	count   atomic.Int64
+	total   atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; -1 = no observation yet
+	max     atomic.Int64 // nanoseconds
+	buckets [timerBuckets]atomic.Int64
+}
+
+func newTimer() *Timer {
+	t := &Timer{}
+	t.min.Store(-1)
+	return t
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		cur := t.max.Load()
+		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := t.min.Load()
+		if (cur >= 0 && ns >= cur) || t.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(ns)) // 0 for 0ns, k for [2^(k-1), 2^k)
+	if b >= timerBuckets {
+		b = timerBuckets - 1
+	}
+	t.buckets[b].Add(1)
+}
+
+// Count returns how many durations were observed.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// Start begins timing an operation; call Stop on the returned Stopwatch.
+// On a nil Timer no clock is read and Stop is a no-op — this is the
+// disabled fast path.
+func (t *Timer) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, t0: time.Now()}
+}
+
+// Stopwatch is one in-flight timing started by Timer.Start.
+type Stopwatch struct {
+	t  *Timer
+	t0 time.Time
+}
+
+// Stop observes the elapsed time and returns it (0 when the watch came
+// from a nil Timer).
+func (sw Stopwatch) Stop() time.Duration {
+	if sw.t == nil {
+		return 0
+	}
+	d := time.Since(sw.t0)
+	sw.t.Observe(d)
+	return d
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var s *Sink
+	c := s.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	tm := s.Timer("y")
+	tm.Observe(time.Second)
+	if tm.Count() != 0 || tm.Total() != 0 {
+		t.Errorf("nil timer recorded: count=%d total=%v", tm.Count(), tm.Total())
+	}
+	if d := tm.Start().Stop(); d != 0 {
+		t.Errorf("nil stopwatch elapsed = %v", d)
+	}
+	sc := s.Scope("z")
+	sc.End() // must not panic
+	s.SetTrace(&bytes.Buffer{})
+	snap := s.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Timers) != 0 {
+		t.Errorf("nil sink snapshot not empty: %+v", snap)
+	}
+	if got := snap.Text(); got != "(no observations)\n" {
+		t.Errorf("empty snapshot text = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	s := New()
+	c := s.Counter("hits")
+	if c2 := s.Counter("hits"); c2 != c {
+		t.Error("Counter not idempotent per name")
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if got := s.Snapshot().Counter("hits"); got != 42 {
+		t.Errorf("snapshot counter = %d", got)
+	}
+	if got := s.Snapshot().Counter("absent"); got != 0 {
+		t.Errorf("absent counter = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	s := New()
+	c := s.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := New()
+	tm := s.Timer("op")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(1 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(-time.Second) // clamped to 0
+	if tm.Count() != 4 {
+		t.Errorf("count = %d", tm.Count())
+	}
+	if tm.Total() != 6*time.Millisecond {
+		t.Errorf("total = %v", tm.Total())
+	}
+	ts := s.Snapshot().Timer("op")
+	if ts.MinNS != 0 {
+		t.Errorf("min = %d, want 0 (clamped negative)", ts.MinNS)
+	}
+	if ts.MaxNS != int64(3*time.Millisecond) {
+		t.Errorf("max = %d", ts.MaxNS)
+	}
+	if ts.Mean() != 1500*time.Microsecond {
+		t.Errorf("mean = %v", ts.Mean())
+	}
+	if len(ts.Buckets) == 0 {
+		t.Fatal("no histogram buckets")
+	}
+	var n int64
+	for _, b := range ts.Buckets {
+		n += b.Count
+	}
+	if n != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", n)
+	}
+}
+
+func TestTimerMinTracksSmallest(t *testing.T) {
+	s := New()
+	tm := s.Timer("op")
+	tm.Observe(5 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(9 * time.Millisecond)
+	ts := s.Snapshot().Timer("op")
+	if ts.MinNS != int64(2*time.Millisecond) {
+		t.Errorf("min = %v", time.Duration(ts.MinNS))
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	s := New()
+	tm := s.Timer("op")
+	sw := tm.Start()
+	time.Sleep(time.Millisecond)
+	if d := sw.Stop(); d < time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 1ms", d)
+	}
+	if tm.Count() != 1 {
+		t.Errorf("count = %d", tm.Count())
+	}
+}
+
+func TestScopeAndTrace(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	s.SetTrace(&buf)
+	sc := s.Scope("exec.run")
+	sc.End()
+	out := buf.String()
+	if !strings.Contains(out, "begin exec.run") || !strings.Contains(out, "end   exec.run") {
+		t.Errorf("trace output = %q", out)
+	}
+	if ts := s.Snapshot().Timer("exec.run"); ts.Count != 1 {
+		t.Errorf("scope timer count = %d", ts.Count)
+	}
+	// Disabling tracing stops the stream but keeps timing.
+	s.SetTrace(nil)
+	buf.Reset()
+	s.Scope("quiet").End()
+	if buf.Len() != 0 {
+		t.Errorf("trace after disable = %q", buf.String())
+	}
+	if ts := s.Snapshot().Timer("quiet"); ts.Count != 1 {
+		t.Errorf("quiet timer count = %d", ts.Count)
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	s := New()
+	s.Counter("exec.steps").Add(1234)
+	s.Counter("debug.cache.hits").Add(7)
+	s.Timer("compile.parse").Observe(time.Millisecond)
+	snap := s.Snapshot()
+
+	text := snap.Text()
+	for _, want := range []string{"counters:", "exec.steps", "1234", "timers:", "compile.parse", "n=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Counters["exec.steps"] != 1234 {
+		t.Errorf("json counters = %+v", back.Counters)
+	}
+	if back.Timers["compile.parse"].Count != 1 {
+		t.Errorf("json timers = %+v", back.Timers)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := New()
+	a.Counter("n").Add(1)
+	a.Timer("t").Observe(2 * time.Millisecond)
+	b := New()
+	b.Counter("n").Add(2)
+	b.Counter("only-b").Add(5)
+	b.Timer("t").Observe(4 * time.Millisecond)
+	b.Timer("t2").Observe(time.Millisecond)
+
+	snap := a.Snapshot()
+	snap.Merge(b.Snapshot())
+	snap.Merge(nil)
+	if snap.Counter("n") != 3 || snap.Counter("only-b") != 5 {
+		t.Errorf("merged counters = %+v", snap.Counters)
+	}
+	ts := snap.Timer("t")
+	if ts.Count != 2 || ts.TotalNS != int64(6*time.Millisecond) {
+		t.Errorf("merged timer = %+v", ts)
+	}
+	if ts.MinNS != int64(2*time.Millisecond) || ts.MaxNS != int64(4*time.Millisecond) {
+		t.Errorf("merged min/max = %+v", ts)
+	}
+	if snap.Timer("t2").Count != 1 {
+		t.Errorf("timer t2 lost in merge")
+	}
+	var n int64
+	for _, bk := range ts.Buckets {
+		n += bk.Count
+	}
+	if n != 2 {
+		t.Errorf("merged buckets sum = %d", n)
+	}
+}
+
+func TestScopesConcurrent(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	s.SetTrace(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Scope("par").End()
+				s.Counter("c").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Timer("par").Count != 400 || snap.Counter("c") != 400 {
+		t.Errorf("concurrent scopes: %+v", snap)
+	}
+}

@@ -1,0 +1,132 @@
+// Package obs is PPD's observability layer: named atomic counters,
+// duration histograms, and span-style phase scopes, collected into a Sink
+// and read out as a Snapshot renderable as text or JSON.
+//
+// The paper's central claim is *efficiency* — small logs during execution,
+// bounded re-emulation during debugging — and obs exists to make that
+// measurable at runtime rather than only in ad-hoc benchmarks: every phase
+// (compile, execution, debugging) reports what it did through the same
+// vocabulary, and `ppd stats` or Execution.Stats renders the result.
+//
+// Cost contract (see DESIGN.md "Observability"):
+//
+//   - the package depends only on the standard library;
+//   - a nil *Sink, nil *Counter, and nil *Timer are valid receivers whose
+//     methods do nothing, so the disabled path in instrumented code is one
+//     predictable nil check — no time.Now calls, no allocation, no locks;
+//   - hot loops never look metrics up by name: components resolve their
+//     counters once at construction (or accumulate in plain locals and
+//     fold into the sink when the operation completes);
+//   - trace streaming (SetTrace) emits one line per phase scope, never per
+//     instruction or per record.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink collects metrics for one program/execution. All methods are safe
+// for concurrent use, and the nil *Sink is a valid no-op receiver.
+type Sink struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+
+	traceMu sync.Mutex
+	trace   io.Writer
+	epoch   time.Time
+}
+
+// New returns an empty sink.
+func New() *Sink {
+	return &Sink{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+		epoch:    time.Now(),
+	}
+}
+
+// SetTrace streams phase-scope events (begin/end lines with elapsed time)
+// to w. nil disables streaming. Counters and timers are unaffected.
+func (s *Sink) SetTrace(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.trace = w
+}
+
+// Counter returns (creating if needed) the named counter. A nil sink
+// returns a nil counter, whose methods are no-ops.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns (creating if needed) the named timer. A nil sink returns
+// a nil timer, whose methods are no-ops.
+func (s *Sink) Timer(name string) *Timer {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.timers[name]
+	if !ok {
+		t = newTimer()
+		s.timers[name] = t
+	}
+	return t
+}
+
+// event writes one trace line if streaming is enabled.
+func (s *Sink) event(format string, args ...any) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if s.trace == nil {
+		return
+	}
+	elapsed := time.Since(s.epoch).Round(time.Microsecond)
+	fmt.Fprintf(s.trace, "obs +%-10v %s\n", elapsed, fmt.Sprintf(format, args...))
+}
+
+// Scope is one span-style phase scope: Sink.Scope marks its beginning,
+// End observes its duration into the timer of the same name and emits the
+// matching trace event. The zero Scope (from a nil sink) is a no-op.
+type Scope struct {
+	s    *Sink
+	name string
+	t0   time.Time
+}
+
+// Scope opens a phase scope. On a nil sink no clock is read.
+func (s *Sink) Scope(name string) Scope {
+	if s == nil {
+		return Scope{}
+	}
+	s.event("begin %s", name)
+	return Scope{s: s, name: name, t0: time.Now()}
+}
+
+// End closes the scope.
+func (sc Scope) End() {
+	if sc.s == nil {
+		return
+	}
+	d := time.Since(sc.t0)
+	sc.s.Timer(sc.name).Observe(d)
+	sc.s.event("end   %s (%v)", sc.name, d.Round(time.Microsecond))
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// duration < UpToNS nanoseconds (and >= the previous bucket's bound).
+type Bucket struct {
+	UpToNS int64 `json:"up_to_ns"`
+	Count  int64 `json:"count"`
+}
+
+// TimerStat is the read-out of one Timer.
+type TimerStat struct {
+	Count   int64    `json:"count"`
+	TotalNS int64    `json:"total_ns"`
+	MinNS   int64    `json:"min_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Total returns the accumulated duration.
+func (ts TimerStat) Total() time.Duration { return time.Duration(ts.TotalNS) }
+
+// Mean returns the mean observed duration (0 when nothing was observed).
+func (ts TimerStat) Mean() time.Duration {
+	if ts.Count == 0 {
+		return 0
+	}
+	return time.Duration(ts.TotalNS / ts.Count)
+}
+
+// Snapshot is a point-in-time read-out of a sink, suitable for rendering,
+// merging with other phases' snapshots, and JSON encoding. Callers may add
+// computed gauges directly to the maps (Execution.Stats does this for log
+// sizes, which are derived from the retained log rather than counted on
+// the hot path).
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Timers   map[string]TimerStat `json:"timers"`
+}
+
+// Snapshot reads the sink's current state. A nil sink yields an empty
+// (but usable) snapshot.
+func (s *Sink) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters: make(map[string]int64),
+		Timers:   make(map[string]TimerStat),
+	}
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, t := range s.timers {
+		ts := TimerStat{
+			Count:   t.count.Load(),
+			TotalNS: t.total.Load(),
+			MaxNS:   t.max.Load(),
+		}
+		if m := t.min.Load(); m >= 0 {
+			ts.MinNS = m
+		}
+		for i := range t.buckets {
+			if n := t.buckets[i].Load(); n > 0 {
+				ts.Buckets = append(ts.Buckets, Bucket{UpToNS: 1 << i, Count: n})
+			}
+		}
+		snap.Timers[name] = ts
+	}
+	return snap
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (sn *Snapshot) Counter(name string) int64 { return sn.Counters[name] }
+
+// Timer returns the named timer's stats (zero when absent).
+func (sn *Snapshot) Timer(name string) TimerStat { return sn.Timers[name] }
+
+// Merge folds another snapshot into this one: counters add, timers
+// combine (count/total sum, min/max widen, buckets add).
+func (sn *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		sn.Counters[name] += v
+	}
+	for name, ts := range other.Timers {
+		cur, ok := sn.Timers[name]
+		if !ok {
+			sn.Timers[name] = ts
+			continue
+		}
+		if ts.Count > 0 {
+			if cur.Count == 0 || ts.MinNS < cur.MinNS {
+				cur.MinNS = ts.MinNS
+			}
+			if ts.MaxNS > cur.MaxNS {
+				cur.MaxNS = ts.MaxNS
+			}
+		}
+		cur.Count += ts.Count
+		cur.TotalNS += ts.TotalNS
+		cur.Buckets = mergeBuckets(cur.Buckets, ts.Buckets)
+		sn.Timers[name] = cur
+	}
+}
+
+func mergeBuckets(a, b []Bucket) []Bucket {
+	byBound := make(map[int64]int64, len(a)+len(b))
+	for _, bk := range a {
+		byBound[bk.UpToNS] += bk.Count
+	}
+	for _, bk := range b {
+		byBound[bk.UpToNS] += bk.Count
+	}
+	out := make([]Bucket, 0, len(byBound))
+	for bound, n := range byBound {
+		out = append(out, Bucket{UpToNS: bound, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpToNS < out[j].UpToNS })
+	return out
+}
+
+// Text renders the snapshot as aligned, name-sorted text.
+func (sn *Snapshot) Text() string {
+	var sb strings.Builder
+	if len(sn.Counters) > 0 {
+		sb.WriteString("counters:\n")
+		names := sortedKeys(sn.Counters)
+		width := maxLen(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "  %-*s %d\n", width, name, sn.Counters[name])
+		}
+	}
+	if len(sn.Timers) > 0 {
+		sb.WriteString("timers:\n")
+		names := sortedKeys(sn.Timers)
+		width := maxLen(names)
+		for _, name := range names {
+			ts := sn.Timers[name]
+			fmt.Fprintf(&sb, "  %-*s n=%d total=%v mean=%v min=%v max=%v\n",
+				width, name, ts.Count,
+				time.Duration(ts.TotalNS).Round(time.Microsecond),
+				ts.Mean().Round(time.Microsecond),
+				time.Duration(ts.MinNS).Round(time.Microsecond),
+				time.Duration(ts.MaxNS).Round(time.Microsecond))
+		}
+	}
+	if sb.Len() == 0 {
+		return "(no observations)\n"
+	}
+	return sb.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (sn *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(sn, "", "  ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxLen(names []string) int {
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	return w
+}

@@ -130,6 +130,13 @@ func Build(pl *logging.ProgramLog, nShared int) *Graph {
 	return build(pl, nShared, sched.Shared())
 }
 
+// BuildWithPool is Build fanning out on the caller's pool instead of the
+// shared one — the Controller uses it so its configured worker bound (and
+// pool observability) covers graph construction too.
+func BuildWithPool(pl *logging.ProgramLog, nShared int, pool *sched.Pool) *Graph {
+	return build(pl, nShared, pool)
+}
+
 func build(pl *logging.ProgramLog, nShared int, pool *sched.Pool) *Graph {
 	g := &Graph{
 		Log:     pl,

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"ppd/internal/bitset"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/sched"
 )
@@ -137,13 +138,16 @@ func buckets(g *parallel.Graph) (readers, writers [][]*parallel.InternalEdge) {
 // scanVars tests every candidate pair of the variables in [lo, hi),
 // appending the races found. Pairs sharing several variables are tested
 // once per variable; the duplicate Race entries that produces are removed
-// by dedup — cheaper than tracking visited pairs in a map.
-func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo, hi int) []*Race {
+// by dedup — cheaper than tracking visited pairs in a map. pairs counts
+// candidate pairs tested (a plain local counter; the caller folds it into
+// its sink only when observation is enabled).
+func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo, hi int, pairs *int64) []*Race {
 	var out []*Race
 	tryPair := func(e1, e2 *parallel.InternalEdge) {
 		if e1.PID == e2.PID {
 			return
 		}
+		*pairs++
 		if !g.Simultaneous(e1, e2) {
 			return
 		}
@@ -167,9 +171,26 @@ func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo
 // writers), then tests only pairs sharing a variable — the candidate set
 // Definition 6.3 can ever accept. For typical programs the buckets are
 // small, eliminating the quadratic sweep over unrelated edges.
-func Indexed(g *parallel.Graph) []*Race {
+func Indexed(g *parallel.Graph) []*Race { return IndexedObs(g, nil) }
+
+// IndexedObs is Indexed reporting detector metrics to sink: candidate
+// pairs tested ("race.pairs"), races found ("race.races"), and detection
+// time (the "debug.race" scope). A nil sink disables observation.
+func IndexedObs(g *parallel.Graph, sink *obs.Sink) []*Race {
+	sc := sink.Scope("debug.race")
+	defer sc.End()
 	readers, writers := buckets(g)
-	return dedup(scanVars(g, readers, writers, 0, g.NumShared()))
+	var pairs int64
+	out := dedup(scanVars(g, readers, writers, 0, g.NumShared(), &pairs))
+	record(sink, pairs, len(out))
+	return out
+}
+
+// chunkScan is one worker's share of a sharded scan: the races plus the
+// pair count of a contiguous variable range.
+type chunkScan struct {
+	races []*Race
+	pairs int64
 }
 
 // Parallel is Indexed with the per-variable buckets sharded across a
@@ -180,16 +201,42 @@ func Indexed(g *parallel.Graph) []*Race {
 // <= 0 selects GOMAXPROCS; one worker (or one variable) degenerates to
 // the sequential scan with no goroutines.
 func Parallel(g *parallel.Graph, workers int) []*Race {
+	return ParallelObs(g, workers, nil)
+}
+
+// ParallelObs is Parallel reporting detector metrics to sink (see
+// IndexedObs). Each worker counts pairs in a plain local; the counts are
+// folded into the sink once after the merge, so the hot scan never
+// touches an atomic. A nil sink disables observation.
+func ParallelObs(g *parallel.Graph, workers int, sink *obs.Sink) []*Race {
+	sc := sink.Scope("debug.race")
+	defer sc.End()
 	readers, writers := buckets(g)
-	parts := sched.ChunkMap(sched.New(workers), g.NumShared(),
-		func(lo, hi int) []*Race {
-			return scanVars(g, readers, writers, lo, hi)
+	parts := sched.ChunkMap(sched.NewObs(workers, sink), g.NumShared(),
+		func(lo, hi int) chunkScan {
+			var cs chunkScan
+			cs.races = scanVars(g, readers, writers, lo, hi, &cs.pairs)
+			return cs
 		})
 	var all []*Race
+	var pairs int64
 	for _, part := range parts {
-		all = append(all, part...)
+		all = append(all, part.races...)
+		pairs += part.pairs
 	}
-	return dedup(all)
+	out := dedup(all)
+	record(sink, pairs, len(out))
+	return out
+}
+
+// record folds one detection run's tallies into the sink.
+func record(sink *obs.Sink, pairs int64, races int) {
+	if sink == nil {
+		return
+	}
+	sink.Counter("race.pairs").Add(pairs)
+	sink.Counter("race.races").Add(int64(races))
+	sink.Counter("race.runs").Inc()
 }
 
 func dedup(rs []*Race) []*Race {

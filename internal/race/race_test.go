@@ -1,6 +1,7 @@
 package race
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"ppd/internal/compile"
 	"ppd/internal/eblock"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/vm"
 	"ppd/internal/workloads"
@@ -363,3 +365,64 @@ func TestRacyCounterHasRacesAcrossDetectors(t *testing.T) {
 		t.Errorf("detectors disagree: naive=%d indexed=%d parallel=%d", len(n), len(i), len(p))
 	}
 }
+
+func TestIndexedObsCountersAndEquivalence(t *testing.T) {
+	src := `
+shared a;
+shared b;
+sem done = 0;
+func w() { a = a + 1; b = b + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`
+	want, g, _ := detect(t, src, vm.Options{Quantum: 1})
+	if len(want) == 0 {
+		t.Fatal("test program must race")
+	}
+	sink := obs.New()
+	got := IndexedObs(g, sink)
+	if Report(got, gidName) != Report(want, gidName) {
+		t.Errorf("IndexedObs != Indexed:\n%s\nvs\n%s",
+			Report(got, gidName), Report(want, gidName))
+	}
+	snap := sink.Snapshot()
+	if n := snap.Counter("race.runs"); n != 1 {
+		t.Errorf("race.runs = %d, want 1", n)
+	}
+	if n := snap.Counter("race.races"); n != int64(len(want)) {
+		t.Errorf("race.races = %d, want %d", n, len(want))
+	}
+	if n := snap.Counter("race.pairs"); n < int64(len(want)) {
+		t.Errorf("race.pairs = %d, want >= %d (every race was a checked pair)", n, len(want))
+	}
+	if snap.Timer("debug.race").Count != 1 {
+		t.Error("debug.race scope not observed")
+	}
+}
+
+func TestParallelObsMatchesIndexedObs(t *testing.T) {
+	wl := workloads.Sharded(4, 20)
+	art, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+	if err := v.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g := parallel.Build(v.Log, len(art.Prog.Globals))
+	sinkI, sinkP := obs.New(), obs.New()
+	want := IndexedObs(g, sinkI)
+	for _, workers := range []int{1, 2, 4} {
+		got := ParallelObs(g, workers, sinkP)
+		if Report(got, gidName) != Report(want, gidName) {
+			t.Errorf("workers=%d: ParallelObs != IndexedObs", workers)
+		}
+	}
+	// Both variants checked the same universe of conflicting pairs.
+	pi := sinkI.Snapshot().Counter("race.pairs")
+	pp := sinkP.Snapshot().Counter("race.pairs")
+	if pp != 3*pi {
+		t.Errorf("parallel pairs = %d over 3 runs, indexed = %d per run", pp, pi)
+	}
+}
+
+func gidName(gid int) string { return fmt.Sprintf("g%d", gid) }

@@ -20,30 +20,57 @@
 //     sequential speed;
 //   - panics inside workers are captured and re-raised on the caller's
 //     goroutine, matching sequential semantics;
-//   - merge order is the index order of the input, never completion order.
+//   - merge order is the index order of the input, never completion order;
+//   - observability is opt-in per pool (NewObs) and costs one nil check
+//     per fan-out when disabled.
 package sched
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"ppd/internal/obs"
 )
 
-// Pool is a bounded worker pool. The zero value is unusable; use New.
-// A Pool carries no goroutines between calls — each fan-out spawns and
-// joins its own workers — so a Pool is safe for concurrent use and costs
-// nothing while idle.
+// Pool is a bounded worker pool. The zero value is unusable; use New or
+// NewObs. A Pool carries no goroutines between calls — each fan-out spawns
+// and joins its own workers — so a Pool is safe for concurrent use and
+// costs nothing while idle.
 type Pool struct {
 	workers int
+
+	// Observability (nil when disabled). Counters are resolved once here
+	// so fan-outs never do name lookups.
+	sink     *obs.Sink
+	cFanouts *obs.Counter // fan-out calls (Chunks/ForEach/Map/ChunkMap)
+	cTasks   *obs.Counter // items fanned out
+	cChunks  *obs.Counter // chunk goroutines (or inline runs) executed
+	tWait    *obs.Timer   // per-chunk queue wait: fan-out start -> chunk start
+	tBusy    *obs.Timer   // per-chunk busy time
 }
 
 // New returns a pool running at most workers goroutines per fan-out.
 // workers <= 0 selects GOMAXPROCS.
-func New(workers int) *Pool {
+func New(workers int) *Pool { return NewObs(workers, nil) }
+
+// NewObs returns a pool that reports fan-out counts, queue wait, and
+// worker busy time to sink ("sched.*" metrics). A nil sink disables
+// observation, leaving only a nil check per fan-out.
+func NewObs(workers int, sink *obs.Sink) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	p := &Pool{workers: workers}
+	if sink != nil {
+		p.sink = sink
+		p.cFanouts = sink.Counter("sched.fanouts")
+		p.cTasks = sink.Counter("sched.tasks")
+		p.cChunks = sink.Counter("sched.chunks")
+		p.tWait = sink.Timer("sched.wait")
+		p.tBusy = sink.Timer("sched.busy")
+	}
+	return p
 }
 
 var (
@@ -77,18 +104,34 @@ func (p *Pool) chunks(n int) []int {
 	return bounds
 }
 
-// Chunks runs fn over at most Workers contiguous, disjoint sub-ranges of
-// [0, n), concurrently, and blocks until all complete. fn(lo, hi) owns
-// [lo, hi). A panic in any chunk is re-raised here.
-func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+// runChunks is the fan-out engine behind Chunks and ChunkMap: fn(c, lo, hi)
+// owns chunk c covering [lo, hi). Degenerate cases run inline on the
+// caller's goroutine; a panic in any chunk is re-raised here.
+func (p *Pool) runChunks(n int, fn func(c, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	if p.sink != nil {
+		p.cFanouts.Inc()
+		p.cTasks.Add(int64(n))
+	}
 	if p.workers == 1 || n == 1 {
-		fn(0, n)
+		if p.sink != nil {
+			p.cChunks.Inc()
+			sw := p.tBusy.Start()
+			fn(0, 0, n)
+			sw.Stop()
+			return
+		}
+		fn(0, 0, n)
 		return
 	}
 	bounds := p.chunks(n)
+	var launch obs.Stopwatch
+	if p.sink != nil {
+		p.cChunks.Add(int64(len(bounds) - 1))
+		launch = p.tWait.Start()
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, len(bounds)-1)
 	for c := 0; c < len(bounds)-1; c++ {
@@ -100,7 +143,15 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 					panics[c] = r
 				}
 			}()
-			fn(bounds[c], bounds[c+1])
+			var sw obs.Stopwatch
+			if p.sink != nil {
+				launch.Stop() // queue wait of this chunk: fan-out start -> now
+				sw = p.tBusy.Start()
+			}
+			fn(c, bounds[c], bounds[c+1])
+			if p.sink != nil {
+				sw.Stop()
+			}
 		}(c)
 	}
 	wg.Wait()
@@ -109,6 +160,13 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 			panic(fmt.Sprintf("sched: worker panic: %v", r))
 		}
 	}
+}
+
+// Chunks runs fn over at most Workers contiguous, disjoint sub-ranges of
+// [0, n), concurrently, and blocks until all complete. fn(lo, hi) owns
+// [lo, hi). A panic in any chunk is re-raised here.
+func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+	p.runChunks(n, func(_, lo, hi int) { fn(lo, hi) })
 }
 
 // ForEach runs fn(i) for every i in [0, n), fanned out across the pool's
@@ -137,30 +195,11 @@ func ChunkMap[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
 	if n <= 0 {
 		return nil
 	}
-	if p.workers == 1 || n == 1 {
-		return []T{fn(0, n)}
+	k := p.workers
+	if k > n {
+		k = n
 	}
-	bounds := p.chunks(n)
-	out := make([]T, len(bounds)-1)
-	var wg sync.WaitGroup
-	panics := make([]any, len(out))
-	for c := range out {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[c] = r
-				}
-			}()
-			out[c] = fn(bounds[c], bounds[c+1])
-		}(c)
-	}
-	wg.Wait()
-	for _, r := range panics {
-		if r != nil {
-			panic(fmt.Sprintf("sched: worker panic: %v", r))
-		}
-	}
+	out := make([]T, k)
+	p.runChunks(n, func(c, lo, hi int) { out[c] = fn(lo, hi) })
 	return out
 }

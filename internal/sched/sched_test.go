@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"ppd/internal/obs"
 )
 
 func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
@@ -114,4 +116,56 @@ func TestWorkerPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestNewObsRecordsFanouts(t *testing.T) {
+	sink := obs.New()
+	p := NewObs(4, sink)
+	got := Map(p, 10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+	snap := sink.Snapshot()
+	if n := snap.Counter("sched.fanouts"); n != 1 {
+		t.Errorf("sched.fanouts = %d, want 1", n)
+	}
+	if n := snap.Counter("sched.tasks"); n != 10 {
+		t.Errorf("sched.tasks = %d, want 10", n)
+	}
+	if n := snap.Counter("sched.chunks"); n != 4 {
+		t.Errorf("sched.chunks = %d, want 4 (one per worker)", n)
+	}
+	// Every chunk's busy time is observed; wait is observed once per
+	// spawned chunk (goroutine path only).
+	if n := snap.Timer("sched.busy").Count; n != 4 {
+		t.Errorf("sched.busy count = %d, want 4", n)
+	}
+	if n := snap.Timer("sched.wait").Count; n != 4 {
+		t.Errorf("sched.wait count = %d, want 4", n)
+	}
+}
+
+func TestNewObsInlinePathCountsBusyOnly(t *testing.T) {
+	sink := obs.New()
+	p := NewObs(1, sink)
+	p.ForEach(5, func(int) {})
+	snap := sink.Snapshot()
+	if n := snap.Counter("sched.chunks"); n != 1 {
+		t.Errorf("sched.chunks = %d, want 1 (inline)", n)
+	}
+	if n := snap.Timer("sched.busy").Count; n != 1 {
+		t.Errorf("sched.busy count = %d, want 1", n)
+	}
+	if n := snap.Timer("sched.wait").Count; n != 0 {
+		t.Errorf("sched.wait count = %d, want 0 (no goroutine spawned)", n)
+	}
+}
+
+func TestNewObsNilSinkStaysQuiet(t *testing.T) {
+	p := NewObs(4, nil)
+	if got := Map(p, 8, func(i int) int { return i + 1 })[7]; got != 8 {
+		t.Errorf("Map result = %d", got)
+	}
 }

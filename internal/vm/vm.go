@@ -30,6 +30,7 @@ import (
 	"ppd/internal/bitset"
 	"ppd/internal/bytecode"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 	"ppd/internal/trace"
 )
 
@@ -68,6 +69,13 @@ type Options struct {
 	// process is about to execute the given statement. The logs flushed at
 	// the halt make the stopped state debuggable like any other.
 	BreakAt ast.StmtID
+
+	// Obs receives execution-phase metrics: the "exec.run" phase scope and
+	// the exec.steps / exec.ctxswitches / exec.procs counters, folded in
+	// once when the run ends. nil disables observation; the interpreter's
+	// instruction loop is identical either way (the VM always counts into
+	// plain fields and never touches the sink per instruction).
+	Obs *obs.Sink
 }
 
 // Status is a process's scheduling state.
@@ -189,6 +197,11 @@ type VM struct {
 	gsn   uint64
 	Steps int64
 
+	// CtxSwitches counts scheduling decisions that moved execution to a
+	// different process — one increment per slice, not per instruction.
+	CtxSwitches int64
+	lastSched   *Proc
+
 	Log   *logging.ProgramLog
 	Trace *trace.Program
 
@@ -294,8 +307,11 @@ func (v *VM) newFrame(fn *bytecode.Func, args []int64) *Frame {
 func (v *VM) Run() error {
 	main := v.Prog.Funcs[v.Prog.MainIdx]
 	v.newProc(main, nil, 0)
+	sc := v.Opts.Obs.Scope("exec.run")
 	err := v.loop()
+	sc.End()
 	v.flushHaltedEdges()
+	v.foldObs()
 	return err
 }
 
@@ -303,9 +319,24 @@ func (v *VM) Run() error {
 // of main — used by replay's what-if restarts (§5.7).
 func (v *VM) RunFunc(fn *bytecode.Func, args []int64) error {
 	v.newProc(fn, args, 0)
+	sc := v.Opts.Obs.Scope("exec.run")
 	err := v.loop()
+	sc.End()
 	v.flushHaltedEdges()
+	v.foldObs()
 	return err
+}
+
+// foldObs publishes the run's plain-field tallies into the sink, once.
+func (v *VM) foldObs() {
+	sink := v.Opts.Obs
+	if sink == nil {
+		return
+	}
+	sink.Counter("exec.steps").Add(v.Steps)
+	sink.Counter("exec.ctxswitches").Add(v.CtxSwitches)
+	sink.Counter("exec.procs").Add(int64(len(v.Procs)))
+	sink.Counter("exec.syncs").Add(int64(v.gsn))
 }
 
 // flushHaltedEdges appends a final record for every process that did not
@@ -385,6 +416,12 @@ func (v *VM) loop() error {
 			rr++
 		} else {
 			p = v.ready[v.rng.Intn(len(v.ready))]
+		}
+		if p != v.lastSched {
+			if v.lastSched != nil {
+				v.CtxSwitches++
+			}
+			v.lastSched = p
 		}
 
 		for q := 0; q < v.Opts.Quantum && p.Status == StatusReady; q++ {

@@ -9,6 +9,7 @@ import (
 	"ppd/internal/compile"
 	"ppd/internal/eblock"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 )
 
 // run compiles and executes src, returning the VM and its print output.
@@ -812,5 +813,57 @@ func main() {
 		if !strings.Contains(all, want) {
 			t.Errorf("full trace missing %q:\n%s", want, all)
 		}
+	}
+}
+
+func TestObsFoldsExecutionCounters(t *testing.T) {
+	sink := obs.New()
+	v, _ := run(t, `
+sem done = 0;
+func w(n int) { print(n); V(done); }
+func main() { spawn w(1); spawn w(2); P(done); P(done); }`,
+		Options{Mode: ModeLog, Quantum: 1, Obs: sink})
+	snap := sink.Snapshot()
+	if got := snap.Counter("exec.steps"); got != v.Steps {
+		t.Errorf("exec.steps = %d, VM counted %d", got, v.Steps)
+	}
+	if got := snap.Counter("exec.procs"); got != 3 {
+		t.Errorf("exec.procs = %d, want 3", got)
+	}
+	if got := snap.Counter("exec.ctxswitches"); got != v.CtxSwitches || got == 0 {
+		t.Errorf("exec.ctxswitches = %d (VM field %d), want equal and > 0", got, v.CtxSwitches)
+	}
+	if got := snap.Counter("exec.syncs"); got == 0 {
+		t.Error("exec.syncs = 0, want > 0 (the program synchronizes)")
+	}
+	if snap.Timer("exec.run").Count != 1 {
+		t.Error("exec.run scope not observed exactly once")
+	}
+}
+
+func TestObsNilSinkIdenticalExecution(t *testing.T) {
+	src := `
+func main() {
+	var i = 0;
+	while (i < 10) { i = i + 1; }
+	print(i);
+}`
+	vOff, outOff := run(t, src, Options{Mode: ModeLog})
+	vOn, outOn := run(t, src, Options{Mode: ModeLog, Obs: obs.New()})
+	if outOff != outOn {
+		t.Errorf("output differs: %q vs %q", outOff, outOn)
+	}
+	if vOff.Steps != vOn.Steps {
+		t.Errorf("steps differ: %d vs %d", vOff.Steps, vOn.Steps)
+	}
+	if vOff.Log.SizeBytes() != vOn.Log.SizeBytes() {
+		t.Errorf("log size differs: %d vs %d", vOff.Log.SizeBytes(), vOn.Log.SizeBytes())
+	}
+}
+
+func TestCtxSwitchesSingleProcessIsZero(t *testing.T) {
+	v, _ := run(t, `func main() { print(1); }`, Options{Mode: ModeRun})
+	if v.CtxSwitches != 0 {
+		t.Errorf("CtxSwitches = %d for a single process, want 0", v.CtxSwitches)
 	}
 }

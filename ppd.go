@@ -40,6 +40,7 @@ import (
 	"ppd/internal/eblock"
 	"ppd/internal/emulation"
 	"ppd/internal/logging"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/replay"
@@ -68,6 +69,12 @@ type (
 	Emulator = emulation.Emulator
 	// WhatIfResult compares an interval's original and modified replays.
 	WhatIfResult = replay.WhatIfResult
+	// Stats is a snapshot of PPD's observability counters and timers,
+	// renderable as text (Text) or JSON (JSON). See Execution.Stats and
+	// Program.CompileStats.
+	Stats = obs.Snapshot
+	// TimerStat is the read-out of one duration histogram inside Stats.
+	TimerStat = obs.TimerStat
 )
 
 // Options configures an execution.
@@ -84,11 +91,43 @@ type Options struct {
 	// the program database / `ppd dump` for statement numbers) is about to
 	// execute, leaving a debuggable stopped state.
 	BreakAt int
+	// Workers bounds the debugging phase's worker-pool fan-out (race
+	// detection, emulator construction, prefetch). 0 uses GOMAXPROCS.
+	Workers int
+	// CacheBound caps the controller's interval LRU cache: 0 means the
+	// default bound, < 0 removes the bound.
+	CacheBound int
+	// Trace, when non-nil, streams phase-scope events (the execution run,
+	// debugging-phase builds and queries) as one timestamped line per
+	// scope. It does not affect the collected Stats.
+	Trace io.Writer
+}
+
+// validate rejects option values that would otherwise be silently coerced
+// into defaults. Zero always means "use the default".
+func (o Options) validate(art *compile.Artifacts) error {
+	if o.Quantum < 0 {
+		return fmt.Errorf("ppd: Quantum must be >= 0 (0 selects the default), got %d", o.Quantum)
+	}
+	if o.MaxSteps < 0 {
+		return fmt.Errorf("ppd: MaxSteps must be >= 0 (0 selects the default), got %d", o.MaxSteps)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("ppd: Workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.Workers)
+	}
+	if o.BreakAt < 0 {
+		return fmt.Errorf("ppd: BreakAt must be >= 0 (0 disables the breakpoint), got %d", o.BreakAt)
+	}
+	if o.BreakAt > 0 && art.DB.Stmt(ast.StmtID(o.BreakAt)) == nil {
+		return fmt.Errorf("ppd: BreakAt: no such statement s%d (see `ppd dump` for statement numbers)", o.BreakAt)
+	}
+	return nil
 }
 
 // Program is a compiled MPL program with its preparatory-phase artifacts.
 type Program struct {
-	art *compile.Artifacts
+	art  *compile.Artifacts
+	sink *obs.Sink // preparatory-phase metrics (compile.*)
 }
 
 // Compile runs the preparatory phase with the default e-block configuration.
@@ -98,12 +137,18 @@ func Compile(filename, src string) (*Program, error) {
 
 // CompileWithConfig compiles with an explicit e-block configuration.
 func CompileWithConfig(filename, src string, cfg BlockConfig) (*Program, error) {
-	art, err := compile.Compile(source.NewFile(filename, src), cfg)
+	sink := obs.New()
+	art, err := compile.CompileWithObs(source.NewFile(filename, src), cfg, sink)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{art: art}, nil
+	return &Program{art: art, sink: sink}, nil
 }
+
+// CompileStats returns the preparatory phase's metrics: per-pass timings and
+// the sizes of the static artifacts (functions, instructions, e-blocks,
+// PDG units and edges, shared-prelog sites).
+func (p *Program) CompileStats() *Stats { return p.sink.Snapshot() }
 
 // Artifacts exposes the preparatory-phase outputs for advanced use (static
 // PDG, program database, e-block plan, bytecode).
@@ -112,7 +157,10 @@ func (p *Program) Artifacts() *compile.Artifacts { return p.art }
 // Run executes without instrumentation actions and returns the run error
 // (nil, a runtime failure, or a deadlock).
 func (p *Program) Run(opts Options) error {
-	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeRun))
+	if err := opts.validate(p.art); err != nil {
+		return err
+	}
+	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeRun, nil))
 	return v.Run()
 }
 
@@ -120,16 +168,23 @@ func (p *Program) Run(opts Options) error {
 // debugging phase consumes. The returned Execution is valid even when the
 // program failed or deadlocked — that is precisely when it is interesting.
 func (p *Program) RunLogged(opts Options) (*Execution, error) {
-	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeLog))
+	if err := opts.validate(p.art); err != nil {
+		return nil, err
+	}
+	sink := obs.New()
+	if opts.Trace != nil {
+		sink.SetTrace(opts.Trace)
+	}
+	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeLog, sink))
 	runErr := v.Run()
-	e := &Execution{Program: p, vm: v}
+	e := &Execution{Program: p, vm: v, opts: opts, sink: sink}
 	if runErr != nil && v.Failure == nil && !v.Deadlock {
 		return nil, runErr // infrastructure error (budget exhausted, ...)
 	}
 	return e, nil
 }
 
-func vmOptions(opts Options, mode vm.Mode) vm.Options {
+func vmOptions(opts Options, mode vm.Mode, sink *obs.Sink) vm.Options {
 	return vm.Options{
 		Mode:     mode,
 		Seed:     opts.Seed,
@@ -137,6 +192,7 @@ func vmOptions(opts Options, mode vm.Mode) vm.Options {
 		MaxSteps: opts.MaxSteps,
 		Output:   opts.Output,
 		BreakAt:  ast.StmtID(opts.BreakAt),
+		Obs:      sink,
 	}
 }
 
@@ -144,6 +200,8 @@ func vmOptions(opts Options, mode vm.Mode) vm.Options {
 type Execution struct {
 	Program *Program
 	vm      *vm.VM
+	opts    Options
+	sink    *obs.Sink // execution- and debugging-phase metrics
 
 	ctl *controller.Controller
 }
@@ -170,23 +228,45 @@ func (e *Execution) Log() *Log { return e.vm.Log }
 func (e *Execution) WriteLog(w io.Writer) error { return e.vm.Log.Write(w) }
 
 // ReadLog loads a log persisted by WriteLog and binds it to the program as
-// a debuggable execution (failure/deadlock state is not persisted).
-func (p *Program) ReadLog(r io.Reader) (*Execution, error) {
+// a debuggable execution (failure/deadlock state is not persisted). The
+// options configure the debugging phase only — execution already happened.
+func (p *Program) ReadLog(r io.Reader, opts Options) (*Execution, error) {
+	if err := opts.validate(p.art); err != nil {
+		return nil, err
+	}
 	pl, err := logging.Read(r)
 	if err != nil {
 		return nil, err
 	}
+	sink := obs.New()
+	if opts.Trace != nil {
+		sink.SetTrace(opts.Trace)
+	}
+	// The loaded log stands in for a run: give the placeholder VM the same
+	// log so Log(), WriteLog, and Stats see the loaded records.
+	v := vm.New(p.art.Prog, vm.Options{Mode: vm.ModeLog})
+	v.Log = pl
 	return &Execution{
 		Program: p,
-		vm:      vm.New(p.art.Prog, vm.Options{Mode: vm.ModeLog}),
-		ctl:     controller.New(p.art, pl, nil, false),
+		vm:      v,
+		opts:    opts,
+		sink:    sink,
+		ctl: controller.NewWithConfig(p.art, pl, controller.Config{
+			Workers:    opts.Workers,
+			CacheBound: opts.CacheBound,
+			Obs:        sink,
+		}),
 	}, nil
 }
 
 // Controller returns the debugging-phase coordinator (cached).
 func (e *Execution) Controller() *Controller {
 	if e.ctl == nil {
-		e.ctl = controller.FromRun(e.Program.art, e.vm)
+		e.ctl = controller.FromRunConfig(e.Program.art, e.vm, controller.Config{
+			Workers:    e.opts.Workers,
+			CacheBound: e.opts.CacheBound,
+			Obs:        e.sink,
+		})
 	}
 	return e.ctl
 }
@@ -196,8 +276,34 @@ func (e *Execution) Debugger() (*Session, error) {
 	return debugger.New(e.Controller())
 }
 
-// Races runs race detection over the execution instance.
-func (e *Execution) Races() []*Race { return race.Indexed(e.Controller().Parallel()) }
+// Races runs race detection over the execution instance. The result is
+// memoized on the controller: the parallel graph is immutable post-run, so
+// repeated calls perform no re-detection.
+func (e *Execution) Races() []*Race { return e.Controller().Races() }
+
+// Stats returns the execution's observability snapshot, spanning all three
+// phases: compile.* (per-pass timings, static artifact sizes), exec.*
+// (steps, context switches, per-kind log records and bytes), and — after
+// debugging queries such as Races or Debugger — debug.*, sched.*, and
+// race.* (cache hits/misses, emulation time, pool utilization, pairs
+// checked). Each call takes a fresh snapshot; the log-size gauges are
+// derived from the retained log, so repeated calls never double-count.
+func (e *Execution) Stats() *Stats {
+	snap := e.Program.sink.Snapshot()
+	snap.Merge(e.sink.Snapshot())
+	st := e.vm.Log.Stats()
+	snap.Counters["exec.log.records"] = int64(st.TotalRecords())
+	snap.Counters["exec.log.bytes"] = int64(st.TotalBytes())
+	for k := 0; k < logging.NumKinds; k++ {
+		if st.Records[k] == 0 {
+			continue
+		}
+		name := logging.Kind(k).String()
+		snap.Counters["exec.log.records."+name] = int64(st.Records[k])
+		snap.Counters["exec.log.bytes."+name] = int64(st.Bytes[k])
+	}
+	return snap
+}
 
 // RaceReport renders the detected races with variable names.
 func (e *Execution) RaceReport() string { return e.Controller().RaceReport() }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"ppd/internal/controller"
+	"ppd/internal/logging"
 )
 
 const facadeCrash = `
@@ -129,7 +132,7 @@ func main() { f(); f(); print(g); }`)
 	if err := exec.WriteLog(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := prog.ReadLog(&buf)
+	loaded, err := prog.ReadLog(&buf, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,5 +179,255 @@ func main() {
 	c := exec.Controller()
 	if c == nil {
 		t.Fatal("no controller")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	prog, err := Compile("v.mpl", `func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Quantum: -1}, "Quantum"},
+		{Options{MaxSteps: -5}, "MaxSteps"},
+		{Options{Workers: -2}, "Workers"},
+		{Options{BreakAt: -1}, "BreakAt"},
+		{Options{BreakAt: 9999}, "no such statement"},
+	}
+	for _, tc := range cases {
+		if _, err := prog.RunLogged(tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("RunLogged(%+v) error = %v, want mention of %q", tc.opts, err, tc.want)
+		}
+		if err := prog.Run(tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Run(%+v) error = %v, want mention of %q", tc.opts, err, tc.want)
+		}
+	}
+	// Zero values still select defaults.
+	if _, err := prog.RunLogged(Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+// TestFacadeRacesMemoized asserts the satellite contract: repeated Races()
+// calls perform zero re-detection. The observable is race.runs — the
+// detector increments it once per actual scan.
+func TestFacadeRacesMemoized(t *testing.T) {
+	prog, err := Compile("racy.mpl", `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{Quantum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := exec.Races()
+	r2 := exec.Races()
+	r3 := exec.Races()
+	if len(r1) == 0 {
+		t.Fatal("expected races")
+	}
+	if &r1[0] != &r2[0] || &r2[0] != &r3[0] {
+		t.Error("repeated Races() returned different slices (re-detected)")
+	}
+	if got := exec.Stats().Counter("race.runs"); got != 1 {
+		t.Errorf("race.runs = %d after 3 Races() calls, want 1", got)
+	}
+}
+
+func TestFacadeStatsCoversAllThreePhases(t *testing.T) {
+	prog, err := Compile("stats.mpl", `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); print(counter); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{Quantum: 1, Output: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exec.Races()
+	if _, _, err := exec.Controller().CurrentGraph(0); err != nil {
+		t.Fatal(err)
+	}
+	st := exec.Stats()
+	for _, name := range []string{
+		// preparatory phase
+		"compile.funcs", "compile.instrs", "compile.eblocks",
+		// execution phase
+		"exec.steps", "exec.procs", "exec.syncs",
+		"exec.log.records", "exec.log.bytes",
+		// debugging phase
+		"debug.cache.misses", "race.pairs", "race.runs",
+	} {
+		if st.Counter(name) == 0 {
+			t.Errorf("counter %s = 0, want non-zero", name)
+		}
+	}
+	for _, name := range []string{"compile.total", "exec.run", "debug.build", "debug.emulate"} {
+		if st.Timer(name).Count == 0 {
+			t.Errorf("timer %s unobserved", name)
+		}
+	}
+	// Stats is idempotent: a second snapshot reports the same log gauges.
+	if a, b := st.Counter("exec.log.bytes"), exec.Stats().Counter("exec.log.bytes"); a != b {
+		t.Errorf("exec.log.bytes drifted across Stats() calls: %d vs %d", a, b)
+	}
+	// CompileStats alone carries only the preparatory phase.
+	cs := prog.CompileStats()
+	if cs.Counter("compile.funcs") == 0 {
+		t.Error("CompileStats missing compile.funcs")
+	}
+	if cs.Counter("exec.steps") != 0 {
+		t.Error("CompileStats must not contain execution counters")
+	}
+	// Both renderings work.
+	if !strings.Contains(st.Text(), "exec.steps") {
+		t.Error("Text() missing exec.steps")
+	}
+	if b, err := st.JSON(); err != nil || !bytes.Contains(b, []byte("counters")) {
+		t.Errorf("JSON() = %s, %v", b, err)
+	}
+}
+
+func TestFacadeWorkersAndCacheBoundPlumbed(t *testing.T) {
+	// f exceeds the leaf-inline threshold so each call is its own interval.
+	prog, err := Compile("wcb.mpl", `
+var g;
+func f() {
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+	g = g + 1;
+}
+func main() { f(); f(); f(); print(g); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{Workers: 2, CacheBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := exec.Controller()
+	if c.Emulator(0) == nil {
+		t.Fatal("controller not built")
+	}
+	// Walk every interval twice under a bound of 1: the second pass cannot
+	// hit (each interval evicts the previous), so evictions must show up.
+	var idxs []int
+	for i, r := range exec.Log().Books[0].Records {
+		if r.Kind == logging.RecPrelog {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) < 2 {
+		t.Fatalf("need >= 2 intervals, got %d", len(idxs))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, idx := range idxs {
+			if _, err := c.Graph(0, idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := exec.Stats()
+	if st.Counter("debug.cache.evictions") == 0 {
+		t.Error("CacheBound: 1 produced no evictions — bound not plumbed")
+	}
+	if st.Counter("debug.cache.hits") != 0 {
+		t.Error("bound-1 walk should never hit")
+	}
+}
+
+func TestFacadeTraceStreamsScopes(t *testing.T) {
+	prog, err := Compile("tr.mpl", `func main() { print(3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	exec, err := prog.RunLogged(Options{Output: &bytes.Buffer{}, Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exec.Races()
+	for _, want := range []string{"begin exec.run", "end   exec.run", "begin debug.build", "end   debug.race"} {
+		if !strings.Contains(trace.String(), want) {
+			t.Errorf("trace missing %q:\n%s", want, trace.String())
+		}
+	}
+}
+
+// TestFacadeLogRoundTripParity is the satellite round-trip contract: an
+// execution reloaded from its persisted log answers debugging queries
+// identically to the in-memory one.
+func TestFacadeLogRoundTripParity(t *testing.T) {
+	prog, err := Compile("parity.mpl", `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); print(counter); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := prog.RunLogged(Options{Quantum: 1, Output: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	persisted := append([]byte(nil), buf.Bytes()...)
+	loaded, err := prog.ReadLog(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Race detection parity.
+	if got, want := loaded.RaceReport(), exec.RaceReport(); got != want {
+		t.Errorf("race report diverges after round trip:\n%s\nvs\n%s", got, want)
+	}
+
+	// Flowback parity: same focus graph, same rendered fragment.
+	for pid := 0; pid < exec.Log().NumProcs(); pid++ {
+		g1, idx1, err := exec.Controller().CurrentGraph(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, idx2, err := loaded.Controller().CurrentGraph(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx1 != idx2 {
+			t.Errorf("pid %d: focus interval %d vs %d", pid, idx1, idx2)
+		}
+		f1 := controller.RenderFragment(g1, g1.LastNode().ID, 4)
+		f2 := controller.RenderFragment(g2, g2.LastNode().ID, 4)
+		if f1 != f2 {
+			t.Errorf("pid %d: flowback fragment diverges after round trip:\n%s\nvs\n%s", pid, f1, f2)
+		}
+	}
+
+	// The loaded execution's log is the loaded one, not an empty shell:
+	// re-persisting it must reproduce the original bytes.
+	var buf2 bytes.Buffer
+	if err := loaded.WriteLog(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(persisted, buf2.Bytes()) {
+		t.Error("re-persisted log differs from the original")
 	}
 }
