@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench pardebug obsoverhead
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog
 
 all: build
 
@@ -44,11 +44,16 @@ cover:
 	fi; \
 	echo "cover: internal/obs $$obs% (floor $(OBS_COVER_FLOOR)%)"
 
-ci: check cover
+ci: check cover bench-smoke
 	@echo "ci: OK"
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every benchmark: catches benchmarks that panic or rot
+# without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate the E13 parallel-debugging-phase table.
 pardebug: build
@@ -57,3 +62,7 @@ pardebug: build
 # Regenerate the E14 observability-overhead table.
 obsoverhead: build
 	$(GO) run ./cmd/ppdbench obsoverhead
+
+# Regenerate the E15 execution-hot-path table (writes BENCH_exec.json).
+execlog: build
+	$(GO) run ./cmd/ppdbench execlog

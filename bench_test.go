@@ -76,6 +76,32 @@ func BenchmarkOverheadProdCons(b *testing.B)  { benchOverhead(b, workloads.ProdC
 func BenchmarkOverheadTokenRing(b *testing.B) { benchOverhead(b, workloads.TokenRing(4, 100)) }
 func BenchmarkOverheadDivide(b *testing.B)    { benchOverhead(b, workloads.Divide(11)) }
 
+// --- E15: execution hot path — ModeLog overhead over ModeRun ---------------
+
+// BenchmarkExecLogOverhead measures the execution phase's logging overhead
+// on the *same instrumented bytecode*: "normal" runs the program with the
+// e-block markers present but inert (ModeRun), "logged" performs the
+// paper's incremental tracing (ModeLog). The logged/normal time ratio is
+// E15's headline number, and allocs/op isolates the per-e-block-boundary
+// allocation cost that the arena/COW logging path removes.
+func BenchmarkExecLogOverhead(b *testing.B) {
+	for _, w := range workloads.Standard() {
+		art := mustCompile(b, w, eblock.DefaultConfig())
+		b.Run(w.Name+"/normal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runVM(b, art, vm.ModeRun)
+			}
+		})
+		b.Run(w.Name+"/logged", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runVM(b, art, vm.ModeLog)
+			}
+		})
+	}
+}
+
 // --- E3: debugging-phase latency — emulate one interval -------------------
 
 func BenchmarkEmulateEBlock(b *testing.B) {

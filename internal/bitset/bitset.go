@@ -188,6 +188,21 @@ func (s *Set) Elems() []int {
 	return out
 }
 
+// AppendTo appends the members in increasing order to dst[:0] and returns
+// the result, letting hot callers reuse one slice's capacity across calls
+// instead of allocating per Elems call.
+func (s *Set) AppendTo(dst []int) []int {
+	dst = dst[:0]
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // ForEach calls f for each member in increasing order.
 func (s *Set) ForEach(f func(int)) {
 	for wi, w := range s.words {

@@ -14,11 +14,28 @@ import (
 // by length-prefixed records. All integers are varints except the magic.
 // The format exists so the execution and debugging phases can be separate
 // OS processes (the paper's structure), exchanging logs through files.
+//
+// The encoder writes through encWriter so the same record codec serves
+// both the batch path (Write, through a bufio.Writer) and the streaming
+// path (Book.Append under a sink, through a bytes.Buffer) — the bytes are
+// identical by construction.
 
 const magic = 0x50504431 // "PPD1"
 
-// Write encodes the program log.
+// encWriter is the codec's output: satisfied by *bufio.Writer (batch) and
+// *bytes.Buffer (streaming).
+type encWriter interface {
+	io.Writer
+	io.ByteWriter
+}
+
+// Write encodes the program log. A streamed log cannot be written again —
+// its records were encoded to the sink as they were produced and are no
+// longer retained; use CloseStream (or re-read the sink's bytes).
 func (pl *ProgramLog) Write(w io.Writer) error {
+	if pl.stream != nil {
+		return fmt.Errorf("logging: Write on a streamed log (records were sent to the sink; use the sink's bytes)")
+	}
 	bw := bufio.NewWriter(w)
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], magic)
@@ -36,7 +53,11 @@ func (pl *ProgramLog) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read decodes a program log written by Write.
+// Read decodes a program log written by Write (or streamed through
+// CloseStream). Malformed or truncated input returns an error — never a
+// panic, and never an allocation proportional to a corrupt length prefix
+// (slices grow incrementally, so a lying header costs at most the bytes
+// actually present).
 func Read(r io.Reader) (*ProgramLog, error) {
 	br := bufio.NewReader(r)
 	var hdr [4]byte
@@ -56,6 +77,12 @@ func Read(r io.Reader) (*ProgramLog, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Write emits books in slice order with PID == index; anything else
+		// is corruption (and unchecked it would let a forged PID force a
+		// huge BookFor allocation).
+		if pid != i {
+			return nil, fmt.Errorf("logging: book %d has pid %d (books must be dense and ordered)", i, pid)
+		}
 		book := pl.BookFor(int(pid))
 		nRecs, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -72,19 +99,19 @@ func Read(r io.Reader) (*ProgramLog, error) {
 	return pl, nil
 }
 
-func putUvarint(w *bufio.Writer, v uint64) {
+func putUvarint(w encWriter, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n])
 }
 
-func putVarint(w *bufio.Writer, v int64) {
+func putVarint(w encWriter, v int64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], v)
 	w.Write(buf[:n])
 }
 
-func writeValue(w *bufio.Writer, v Value) {
+func writeValue(w encWriter, v Value) {
 	if v.Arr == nil {
 		w.WriteByte(0)
 		putVarint(w, v.Int)
@@ -96,6 +123,13 @@ func writeValue(w *bufio.Writer, v Value) {
 		putVarint(w, x)
 	}
 }
+
+// readCap bounds the initial capacity handed to make() while decoding: a
+// corrupt length prefix may claim 2^60 elements, but each claimed element
+// still has to be present in the input, so growing incrementally from a
+// bounded capacity turns an over-allocation attack into a plain
+// truncation error.
+const readCap = 1024
 
 func readValue(r *bufio.Reader) (Value, error) {
 	tag, err := r.ReadByte()
@@ -110,16 +144,18 @@ func readValue(r *bufio.Reader) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	arr := make([]int64, n)
-	for i := range arr {
-		if arr[i], err = binary.ReadVarint(r); err != nil {
+	arr := make([]int64, 0, min(n, readCap))
+	for i := uint64(0); i < n; i++ {
+		x, err := binary.ReadVarint(r)
+		if err != nil {
 			return Value{}, err
 		}
+		arr = append(arr, x)
 	}
 	return Value{Arr: arr}, nil
 }
 
-func writeValMap(w *bufio.Writer, p Pairs) {
+func writeValMap(w encWriter, p Pairs) {
 	putUvarint(w, uint64(len(p)))
 	for i := range p {
 		putUvarint(w, uint64(p[i].Idx))
@@ -135,7 +171,7 @@ func readValMap(r *bufio.Reader) (Pairs, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	p := make(Pairs, 0, n)
+	p := make(Pairs, 0, min(n, readCap))
 	for i := uint64(0); i < n; i++ {
 		k, err := binary.ReadUvarint(r)
 		if err != nil {
@@ -150,7 +186,7 @@ func readValMap(r *bufio.Reader) (Pairs, error) {
 	return p, nil
 }
 
-func writeIntSlice(w *bufio.Writer, s []int) {
+func writeIntSlice(w encWriter, s []int) {
 	putUvarint(w, uint64(len(s)))
 	for _, x := range s {
 		putUvarint(w, uint64(x))
@@ -165,18 +201,18 @@ func readIntSlice(r *bufio.Reader) ([]int, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	s := make([]int, n)
-	for i := range s {
+	s := make([]int, 0, min(n, readCap))
+	for i := uint64(0); i < n; i++ {
 		x, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, err
 		}
-		s[i] = int(x)
+		s = append(s, int(x))
 	}
 	return s, nil
 }
 
-func writeRecord(w *bufio.Writer, r *Record) {
+func writeRecord(w encWriter, r *Record) {
 	w.WriteByte(byte(r.Kind))
 	putUvarint(w, uint64(r.Block))
 	putUvarint(w, uint64(r.Stmt))

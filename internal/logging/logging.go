@@ -12,7 +12,11 @@
 package logging
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"iter"
 	"strings"
 
@@ -183,6 +187,9 @@ func (o SyncOp) String() string {
 }
 
 // Record is one log entry. Which fields are meaningful depends on Kind.
+// Records on the execution hot path are allocated through Book.NewRecord
+// (arena-backed, recycled under a streaming sink); the zero value is a
+// valid empty record either way.
 type Record struct {
 	Kind Kind
 
@@ -219,32 +226,185 @@ type Record struct {
 	// WRITE_SET). Present on RecSync, RecStart (empty) and RecExit.
 	Reads  []int
 	Writes []int
+
+	// retBuf backs SetRet so postlog return values need no separate heap
+	// allocation; Ret points at it when set through SetRet.
+	retBuf Value
 }
+
+// SetRet records the return value in the record's inline buffer, avoiding
+// the per-postlog *Value allocation of `r.Ret = &v`.
+func (r *Record) SetRet(v Value) {
+	r.retBuf = v
+	r.Ret = &r.retBuf
+}
+
+// reset clears the record for reuse, keeping the capacity of its slice
+// fields so a recycled record logs without allocating.
+func (r *Record) reset() {
+	locals, globals := r.Locals[:0], r.Globals[:0]
+	reads, writes := r.Reads[:0], r.Writes[:0]
+	*r = Record{Locals: locals, Globals: globals, Reads: reads, Writes: writes}
+}
+
+// Arena chunk sizes: records and pair bindings are carved from fixed-cap
+// chunks so pointers into them stay valid for the log's lifetime (a chunk
+// is never grown, only replaced when full).
+const (
+	recordChunk = 128
+	pairChunk   = 512
+)
 
 // Book is one process's log, in generation order.
 type Book struct {
 	PID     int
 	Records []*Record
+
+	// arena is the current fixed-capacity allocation chunk for records;
+	// pairArena is the same for Pairs backing storage. Both exist so the
+	// execution phase performs one allocation per chunk instead of one (or
+	// more) per e-block boundary.
+	arena     []Record
+	pairArena []VarVal
+
+	// Streaming state: when stream is non-nil, Append encodes the record
+	// into the per-book buffer immediately and recycles it via free, so a
+	// long run retains encoded bytes instead of record structures.
+	stream      *Stream
+	enc         *bytes.Buffer
+	streamed    int // records encoded so far
+	streamStats Stats
+	free        []*Record
 }
 
-// Append adds a record.
-func (b *Book) Append(r *Record) { b.Records = append(b.Records, r) }
+// NewRecord returns a zeroed record for this book, recycled from the
+// freelist under a streaming sink or carved from the record arena.
+func (b *Book) NewRecord() *Record {
+	if n := len(b.free); n > 0 {
+		r := b.free[n-1]
+		b.free = b.free[:n-1]
+		r.reset()
+		return r
+	}
+	if len(b.arena) == cap(b.arena) {
+		b.arena = make([]Record, 0, recordChunk)
+	}
+	b.arena = b.arena[:len(b.arena)+1]
+	return &b.arena[len(b.arena)-1]
+}
 
-// Len returns the number of records.
-func (b *Book) Len() int { return len(b.Records) }
+// TakePairs returns an empty Pairs with capacity for exactly n bindings:
+// the caller's previous slice when it is large enough (recycled records),
+// otherwise a carve from the pair arena. The capacity cap means an append
+// beyond n falls back to a normal heap grow rather than corrupting the
+// arena.
+func (b *Book) TakePairs(old Pairs, n int) Pairs {
+	if cap(old) >= n {
+		return old[:0]
+	}
+	if cap(b.pairArena)-len(b.pairArena) < n {
+		c := pairChunk
+		if n > c {
+			c = n
+		}
+		b.pairArena = make([]VarVal, 0, c)
+	}
+	off := len(b.pairArena)
+	b.pairArena = b.pairArena[:off+n]
+	return Pairs(b.pairArena[off : off : off+n])
+}
+
+// Append adds a record. Under a streaming sink the record is encoded and
+// recycled instead of retained.
+func (b *Book) Append(r *Record) {
+	if b.stream == nil {
+		b.Records = append(b.Records, r)
+		return
+	}
+	before := b.enc.Len()
+	writeRecord(b.enc, r)
+	if int(r.Kind) < NumKinds {
+		b.streamStats.Records[r.Kind]++
+		b.streamStats.Bytes[r.Kind] += b.enc.Len() - before
+	}
+	b.streamed++
+	b.free = append(b.free, r)
+}
+
+// Len returns the number of records generated (retained or streamed).
+func (b *Book) Len() int { return len(b.Records) + b.streamed }
 
 // ProgramLog is the set of per-process books for one execution.
 type ProgramLog struct {
 	Books []*Book // indexed by PID
+
+	stream *Stream // non-nil when records are streamed instead of retained
 }
 
 // NewProgramLog returns an empty program log.
 func NewProgramLog() *ProgramLog { return &ProgramLog{} }
 
+// Stream is an incremental log encoder: each record is encoded through the
+// same varint codec as Write the moment it is produced, into a per-book
+// buffer, so the execution phase retains compact encoded bytes instead of
+// record structures (and can recycle the structures). CloseStream stitches
+// the buffers into a byte stream identical to Write's output.
+type Stream struct {
+	w io.Writer
+}
+
+// SetStream switches the log into streaming mode over w. It must be called
+// before any record is appended; books created afterwards inherit it.
+func (pl *ProgramLog) SetStream(w io.Writer) {
+	pl.stream = &Stream{w: w}
+	for _, b := range pl.Books {
+		b.attachStream(pl.stream)
+	}
+}
+
+// Streamed reports whether records are being streamed rather than retained.
+func (pl *ProgramLog) Streamed() bool { return pl.stream != nil }
+
+func (b *Book) attachStream(s *Stream) {
+	b.stream = s
+	if b.enc == nil {
+		b.enc = &bytes.Buffer{}
+	}
+}
+
+// CloseStream writes the streamed log to the sink in Write's exact format
+// (magic, book count, then each book's PID, record count, and records) and
+// flushes. The resulting bytes equal what Write would have produced for
+// the same records.
+func (pl *ProgramLog) CloseStream() error {
+	if pl.stream == nil {
+		return fmt.Errorf("logging: CloseStream on a non-streamed log")
+	}
+	bw := bufio.NewWriter(pl.stream.w)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], magic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(pl.Books)))
+	for _, b := range pl.Books {
+		putUvarint(bw, uint64(b.PID))
+		putUvarint(bw, uint64(b.streamed))
+		if _, err := bw.Write(b.enc.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // BookFor returns (creating if needed) the book for a PID.
 func (pl *ProgramLog) BookFor(pid int) *Book {
 	for len(pl.Books) <= pid {
-		pl.Books = append(pl.Books, &Book{PID: len(pl.Books)})
+		b := &Book{PID: len(pl.Books)}
+		if pl.stream != nil {
+			b.attachStream(pl.stream)
+		}
+		pl.Books = append(pl.Books, b)
 	}
 	return pl.Books[pid]
 }
@@ -252,22 +412,20 @@ func (pl *ProgramLog) BookFor(pid int) *Book {
 // NumProcs returns the number of processes that logged.
 func (pl *ProgramLog) NumProcs() int { return len(pl.Books) }
 
-// SizeBytes estimates the log's size as encoded (the E2 metric).
+// SizeBytes is the log's exact encoded record size (the E2 metric): the
+// sum of every record's length under the binary codec, whether retained or
+// already streamed. The Write/CloseStream output adds only the fixed
+// header and per-book framing on top.
 func (pl *ProgramLog) SizeBytes() int {
-	total := 0
-	for _, b := range pl.Books {
-		for _, r := range b.Records {
-			total += r.sizeBytes()
-		}
-	}
-	return total
+	return pl.Stats().TotalBytes()
 }
 
 // Stats is the log's per-record-kind accounting: how many records of each
-// kind the execution phase generated and their encoded size. It is
-// computed by walking the retained log after the run — the paper's "small
-// log" claim is measured without adding a single instruction to the
-// logging hot path.
+// kind the execution phase generated and their encoded size. For a
+// retained log it is computed by walking the records after the run — the
+// paper's "small log" claim is measured without adding a single
+// instruction to the logging hot path. For a streamed log it is the bytes
+// actually encoded, folded in as each record passes through the codec.
 type Stats struct {
 	Records [NumKinds]int // record count per Kind
 	Bytes   [NumKinds]int // encoded bytes per Kind
@@ -304,39 +462,87 @@ func (pl *ProgramLog) Stats() Stats {
 	return s
 }
 
-// Stats accounts one book by record kind.
+// Stats accounts one book by record kind. Retained records are measured
+// through EncodedLen (the codec's exact arithmetic); streamed records were
+// measured as they passed through the codec itself.
 func (b *Book) Stats() Stats {
-	var s Stats
+	s := b.streamStats
 	for _, r := range b.Records {
 		if int(r.Kind) < NumKinds {
 			s.Records[r.Kind]++
-			s.Bytes[r.Kind] += r.sizeBytes()
+			s.Bytes[r.Kind] += r.EncodedLen()
 		}
 	}
 	return s
 }
 
-func (r *Record) sizeBytes() int {
-	// Fixed header: kind, block, stmt, op, obj, gsn, fromGsn, value.
-	n := 1 + 4 + 4 + 1 + 4 + 8 + 8 + 8
-	for i := range r.Locals {
-		n += 4 + valSize(r.Locals[i].Val)
-	}
-	for i := range r.Globals {
-		n += 4 + valSize(r.Globals[i].Val)
-	}
+// EncodedLen is the record's exact size under the binary codec: the same
+// varint arithmetic as writeRecord, so Stats never drifts from the bytes
+// Write produces (pinned by TestStatsMatchEncodedBytes).
+func (r *Record) EncodedLen() int {
+	n := 1 + // kind byte
+		uvarintLen(uint64(r.Block)) +
+		uvarintLen(uint64(r.Stmt)) +
+		1 + // op byte
+		varintLen(int64(r.Obj)) +
+		uvarintLen(r.Gsn) +
+		uvarintLen(r.FromGsn) +
+		varintLen(r.Value)
+	n += pairsLen(r.Locals)
+	n += pairsLen(r.Globals)
+	n++ // has-ret byte
 	if r.Ret != nil {
-		n += valSize(*r.Ret)
+		n += valueLen(*r.Ret)
 	}
-	n += 4 * (len(r.Reads) + len(r.Writes))
+	n += intSliceLen(r.Reads)
+	n += intSliceLen(r.Writes)
 	return n
 }
 
-func valSize(v Value) int {
-	if v.Arr != nil {
-		return 4 + 8*len(v.Arr)
+func pairsLen(p Pairs) int {
+	n := uvarintLen(uint64(len(p)))
+	for i := range p {
+		n += uvarintLen(uint64(p[i].Idx)) + valueLen(p[i].Val)
 	}
-	return 8
+	return n
+}
+
+func valueLen(v Value) int {
+	if v.Arr == nil {
+		return 1 + varintLen(v.Int)
+	}
+	n := 1 + uvarintLen(uint64(len(v.Arr)))
+	for _, x := range v.Arr {
+		n += varintLen(x)
+	}
+	return n
+}
+
+func intSliceLen(s []int) int {
+	n := uvarintLen(uint64(len(s)))
+	for _, x := range s {
+		n += uvarintLen(uint64(x))
+	}
+	return n
+}
+
+// uvarintLen is the encoded size of binary.PutUvarint(v).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the encoded size of binary.PutVarint(v) (zig-zag).
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
 }
 
 // String renders a record compactly for debugging and golden tests.

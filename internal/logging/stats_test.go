@@ -1,0 +1,93 @@
+package logging
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"ppd/internal/ast"
+	"ppd/internal/eblock"
+)
+
+// statsFixtures is one representative record per kind, with every field
+// family populated (scalars, arrays, pairs, return value, edge sets) so the
+// size arithmetic is exercised end to end, including multi-byte varints.
+func statsFixtures() []*Record {
+	retArr := Value{Arr: []int64{7, -9, 1 << 40}}
+	retInt := Value{Int: -1}
+	return []*Record{
+		{Kind: RecStart, FromGsn: 300},
+		{Kind: RecPrelog, Block: eblock.ID(5), Stmt: ast.StmtID(130),
+			Locals:  Pairs{{Idx: 0, Val: Value{Int: 42}}, {Idx: 3, Val: Value{Arr: []int64{1, 2, 3, -4, 1 << 33}}}},
+			Globals: Pairs{{Idx: 200, Val: Value{Int: -70000}}}},
+		{Kind: RecPostlog, Block: eblock.ID(1000), Stmt: ast.StmtID(2),
+			Globals: Pairs{{Idx: 1, Val: Value{Arr: []int64{}}}},
+			Ret:     &retArr},
+		{Kind: RecShPrelog, Stmt: ast.StmtID(7),
+			Globals: Pairs{{Idx: 0, Val: Value{Int: 0}}, {Idx: 130, Val: Value{Int: 1 << 50}}}},
+		{Kind: RecSync, Op: OpP, Obj: -1, Stmt: ast.StmtID(90), Gsn: 1 << 21, FromGsn: 127,
+			Value: -128, Reads: []int{0, 64, 129}, Writes: []int{5}},
+		{Kind: RecExit, Stmt: ast.StmtID(40), Value: ExitClean, Obj: 3,
+			Reads: []int{}, Writes: []int{200}, Ret: &retInt},
+	}
+}
+
+// TestStatsMatchEncodedBytes pins EncodedLen (and therefore Stats().Bytes)
+// to the codec: for each record kind, the accounted size must equal the
+// number of bytes writeRecord actually produces. This is the drift guard —
+// the old hand-rolled sizeBytes silently disagreed with the codec.
+func TestStatsMatchEncodedBytes(t *testing.T) {
+	for _, rec := range statsFixtures() {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeRecord(bw, rec)
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rec.EncodedLen(), buf.Len(); got != want {
+			t.Errorf("%v: EncodedLen = %d, codec wrote %d bytes", rec.Kind, got, want)
+		}
+	}
+
+	// And through the public accounting: per-kind Stats().Bytes must equal
+	// the real encoded length of that kind's records.
+	pl := NewProgramLog()
+	book := pl.BookFor(0)
+	wantBytes := map[Kind]int{}
+	for _, rec := range statsFixtures() {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeRecord(bw, rec)
+		bw.Flush()
+		wantBytes[rec.Kind] += buf.Len()
+		book.Append(rec)
+	}
+	st := pl.Stats()
+	for k := 0; k < NumKinds; k++ {
+		if st.Records[k] != 1 {
+			t.Errorf("kind %v: Records = %d, want 1", Kind(k), st.Records[k])
+		}
+		if st.Bytes[k] != wantBytes[Kind(k)] {
+			t.Errorf("kind %v: Stats().Bytes = %d, want %d", Kind(k), st.Bytes[k], wantBytes[Kind(k)])
+		}
+	}
+}
+
+// TestStatsRoundTripThroughWrite cross-checks TotalBytes against the full
+// artifact: Write's output is exactly the records plus the fixed framing
+// (magic, book count, and per-book pid + record count).
+func TestStatsRoundTripThroughWrite(t *testing.T) {
+	pl := NewProgramLog()
+	book := pl.BookFor(0)
+	for _, rec := range statsFixtures() {
+		book.Append(rec)
+	}
+	var buf bytes.Buffer
+	if err := pl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	framing := 4 /* magic */ + 1 /* nbooks */ + 1 /* pid */ + 1 /* record count */
+	if got, want := pl.SizeBytes()+framing, buf.Len(); got != want {
+		t.Fatalf("SizeBytes+framing = %d, Write produced %d bytes", got, want)
+	}
+}

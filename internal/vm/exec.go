@@ -61,14 +61,17 @@ func (v *VM) StartEmuProc(fn *bytecode.Func, slots []Value, startPC int) *Proc {
 }
 
 // RunEmu drives the single emulation process until the hooks stop it, it
-// returns from its root frame, or it fails.
+// returns from its root frame, or it fails. The tracing predicate is
+// hoisted out of the per-instruction path: it depends only on the mode and
+// the process's buffer, neither of which changes mid-run.
 func (v *VM) RunEmu(p *Proc) error {
+	tracing := v.tracing(p)
 	for p.Status == StatusReady {
 		v.Steps++
 		if v.Steps > v.Opts.MaxSteps {
 			return fmt.Errorf("emulation budget exhausted")
 		}
-		v.step(p)
+		v.stepT(p, tracing)
 		if v.Failure != nil {
 			return v.Failure
 		}
@@ -109,8 +112,15 @@ func (v *VM) markWrite(p *Proc, gid int) {
 	}
 }
 
-// step executes one instruction of p.
-func (v *VM) step(p *Proc) {
+// step executes one instruction of p, re-deriving the tracing predicate.
+// It is the entry point for callers outside the slice runners (tests).
+func (v *VM) step(p *Proc) { v.stepT(p, v.tracing(p)) }
+
+// stepT executes one instruction of p with the tracing predicate already
+// decided by the caller (the slice runners hoist it out of the dispatch
+// path; the specialized ModeRun/ModeLog loops bypass stepT entirely for
+// hot opcodes and fall back here for the rest).
+func (v *VM) stepT(p *Proc, tracing bool) {
 	f := p.top()
 	if f.PC >= len(f.Fn.Code) {
 		v.fail(p, ast.NoStmt, "pc out of range in %s", f.Fn.Name)
@@ -123,7 +133,6 @@ func (v *VM) step(p *Proc) {
 		v.BreakHit = true
 		return
 	}
-	tracing := v.tracing(p)
 	if tracing {
 		switch in.Op {
 		case bytecode.OpPrelog, bytecode.OpPostlog, bytecode.OpShPrelog, bytecode.OpNop:
@@ -201,6 +210,9 @@ func (v *VM) step(p *Proc) {
 			return
 		}
 		arr[i] = val
+		if f.arrSnap != nil {
+			f.arrSnap[in.A].dirty = true
+		}
 		if tracing {
 			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: spaceLocal(in.A), Idx: int(i), Value: val})
 		}
@@ -228,6 +240,9 @@ func (v *VM) step(p *Proc) {
 		}
 		arr[i] = val
 		v.markWrite(p, in.A)
+		if v.gDirty != nil {
+			v.gDirty[in.A] = true
+		}
 		if tracing {
 			p.Tbuf.Append(trace.Event{Kind: trace.EvWrite, Stmt: in.Stmt, Var: v.spaceGlobal(f.Fn, in.A), Idx: int(i), Value: val})
 		}
@@ -295,10 +310,7 @@ func (v *VM) step(p *Proc) {
 
 	case bytecode.OpCall:
 		callee := v.Prog.Funcs[in.A]
-		args := make([]int64, in.B)
-		for i := in.B - 1; i >= 0; i-- {
-			args[i] = pop()
-		}
+		args := v.popArgs(f, in.B, tracing || v.Opts.Mode == ModeEmulate)
 		if v.Opts.Mode == ModeEmulate {
 			// The hook appends EvCallSkipped and the substituted postlog's
 			// EvWrite events itself when it skips.
@@ -324,7 +336,7 @@ func (v *VM) step(p *Proc) {
 				FuncIdx: callee.Idx, Args: args})
 			p.lastStmt = ast.NoStmt
 		}
-		p.Frames = append(p.Frames, v.newFrame(callee, args))
+		p.Frames = append(p.Frames, v.newFrame(p, callee, args))
 
 	case bytecode.OpRet, bytecode.OpRetValue:
 		var ret int64
@@ -346,12 +358,12 @@ func (v *VM) step(p *Proc) {
 				Stmt: caller.Fn.Code[caller.PC-1].Stmt, Value: ret, HasValue: hasRet})
 			p.lastStmt = ast.NoStmt
 		}
+		v.releaseFrame(p, f)
 
 	case bytecode.OpSpawn:
-		args := make([]int64, in.B)
-		for i := in.B - 1; i >= 0; i-- {
-			args[i] = pop()
-		}
+		// Spawn arguments are copied into the child's slots immediately, so
+		// the scratch buffer is safe in every mode (no event retains them).
+		args := v.popArgs(f, in.B, false)
 		if v.Opts.Mode == ModeEmulate {
 			if _, err := v.hooks.OnSync(p, logging.OpSpawn, -1); err != nil {
 				v.fail(p, in.Stmt, "emulation: %v", err)
@@ -364,10 +376,7 @@ func (v *VM) step(p *Proc) {
 		}
 		gsn := v.nextGsn()
 		child := v.newProc(v.Prog.Funcs[in.A], args, gsn)
-		v.logSync(p, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpSpawn, Obj: child.PID,
-			Stmt: in.Stmt, Gsn: gsn, Value: int64(in.A),
-		})
+		v.logSyncEvent(p, logging.OpSpawn, child.PID, in.Stmt, gsn, 0, int64(in.A))
 		if v.Opts.Mode == ModeFullTrace {
 			p.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: in.Stmt, Op: logging.OpSpawn, Obj: child.PID})
 		}
@@ -447,32 +456,101 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// logSync appends a sync record carrying the just-terminated internal
-// edge's read/write sets (§6.3).
-func (v *VM) logSync(p *Proc, rec *logging.Record) {
+// popArgs pops n call arguments off f's stack (leftmost deepest). Unless
+// retain is set — full-trace events and emulation hooks keep the slice — the
+// VM-wide scratch buffer is reused: every callee copies its arguments into
+// frame slots before the next call can overwrite the scratch.
+func (v *VM) popArgs(f *Frame, n int, retain bool) []int64 {
+	var args []int64
+	if retain {
+		args = make([]int64, n)
+	} else {
+		if cap(v.argScratch) < n {
+			v.argScratch = make([]int64, n)
+		}
+		args = v.argScratch[:n]
+	}
+	base := len(f.Stack) - n
+	copy(args, f.Stack[base:])
+	f.Stack = f.Stack[:base]
+	return args
+}
+
+// logSyncEvent appends a sync record for p carrying the just-terminated
+// internal edge's read/write sets (§6.3). The record is built only under
+// ModeLog — uninstrumented runs pay nothing per sync event — and comes from
+// the book's arena, not the heap. p need not be the process currently
+// executing (unblock records are written for the woken process).
+func (v *VM) logSyncEvent(p *Proc, op logging.SyncOp, obj int, stmt ast.StmtID, gsn, from uint64, val int64) {
 	if v.Opts.Mode != ModeLog {
 		return
 	}
-	rec.Reads, rec.Writes = p.takeEdgeSets()
+	rec := p.Book.NewRecord()
+	rec.Kind, rec.Op, rec.Obj = logging.RecSync, op, obj
+	rec.Stmt, rec.Gsn, rec.FromGsn, rec.Value = stmt, gsn, from, val
+	p.fillEdgeSets(rec)
 	p.Book.Append(rec)
 }
 
 // ------------------------------------------------------------ logging
+//
+// The emit helpers draw records and pair slices from the book's arena and
+// snapshot arrays copy-on-write: an array value is deep-copied only when it
+// was written since its last snapshot (the dirty bits set by the indexed
+// stores). Snapshot slices are shared between the live cache and the log —
+// safe because log values are immutable by contract (every downstream
+// consumer Clones before mutating).
+
+// snapGlobal returns global gid's value for logging, reusing the cached
+// array snapshot when the array is clean.
+func (v *VM) snapGlobal(gid int) Value {
+	g := v.Globals[gid]
+	if g.Arr == nil {
+		return g
+	}
+	if v.gDirty[gid] || v.gSnap[gid] == nil {
+		s := make([]int64, len(g.Arr))
+		copy(s, g.Arr)
+		v.gSnap[gid] = s
+		v.gDirty[gid] = false
+	}
+	return Value{Arr: v.gSnap[gid]}
+}
+
+// snapLocal is snapGlobal's per-frame counterpart for local slots.
+func (f *Frame) snapLocal(slot int) Value {
+	val := f.Slots[slot]
+	if val.Arr == nil {
+		return val
+	}
+	if f.arrSnap == nil {
+		return val.Clone()
+	}
+	s := &f.arrSnap[slot]
+	if s.dirty || s.arr == nil {
+		a := make([]int64, len(val.Arr))
+		copy(a, val.Arr)
+		s.arr = a
+		s.dirty = false
+	}
+	return Value{Arr: s.arr}
+}
 
 func (v *VM) emitPrelog(p *Proc, blockID int, stmt ast.StmtID) {
 	meta := v.Prog.Blocks[blockID]
 	f := p.top()
-	rec := &logging.Record{Kind: logging.RecPrelog, Block: eblock.ID(blockID), Stmt: stmt}
-	if len(meta.UsedLocals) > 0 {
-		rec.Locals = make(logging.Pairs, 0, len(meta.UsedLocals))
+	rec := p.Book.NewRecord()
+	rec.Kind, rec.Block, rec.Stmt = logging.RecPrelog, eblock.ID(blockID), stmt
+	if n := len(meta.UsedLocals); n > 0 {
+		rec.Locals = p.Book.TakePairs(rec.Locals, n)
 		for _, slot := range meta.UsedLocals {
-			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.Slots[slot].Clone()})
+			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.snapLocal(slot)})
 		}
 	}
-	if len(meta.UsedGlobals) > 0 {
-		rec.Globals = make(logging.Pairs, 0, len(meta.UsedGlobals))
+	if n := len(meta.UsedGlobals); n > 0 {
+		rec.Globals = p.Book.TakePairs(rec.Globals, n)
 		for _, gid := range meta.UsedGlobals {
-			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.snapGlobal(gid)})
 		}
 	}
 	p.Book.Append(rec)
@@ -481,32 +559,33 @@ func (v *VM) emitPrelog(p *Proc, blockID int, stmt ast.StmtID) {
 func (v *VM) emitPostlog(p *Proc, blockID int, retOnStack bool, stmt ast.StmtID) {
 	meta := v.Prog.Blocks[blockID]
 	f := p.top()
-	rec := &logging.Record{Kind: logging.RecPostlog, Block: eblock.ID(blockID), Stmt: stmt}
-	if len(meta.DefinedLocals) > 0 {
-		rec.Locals = make(logging.Pairs, 0, len(meta.DefinedLocals))
+	rec := p.Book.NewRecord()
+	rec.Kind, rec.Block, rec.Stmt = logging.RecPostlog, eblock.ID(blockID), stmt
+	if n := len(meta.DefinedLocals); n > 0 {
+		rec.Locals = p.Book.TakePairs(rec.Locals, n)
 		for _, slot := range meta.DefinedLocals {
-			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.Slots[slot].Clone()})
+			rec.Locals = append(rec.Locals, logging.VarVal{Idx: slot, Val: f.snapLocal(slot)})
 		}
 	}
-	if len(meta.DefinedGlobals) > 0 {
-		rec.Globals = make(logging.Pairs, 0, len(meta.DefinedGlobals))
+	if n := len(meta.DefinedGlobals); n > 0 {
+		rec.Globals = p.Book.TakePairs(rec.Globals, n)
 		for _, gid := range meta.DefinedGlobals {
-			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+			rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.snapGlobal(gid)})
 		}
 	}
 	if retOnStack {
-		val := Value{Int: f.Stack[len(f.Stack)-1]}
-		rec.Ret = &val
+		rec.SetRet(Value{Int: f.Stack[len(f.Stack)-1]})
 	}
 	p.Book.Append(rec)
 }
 
 func (v *VM) emitShPrelog(p *Proc, fn *bytecode.Func, unitIdx int) {
 	u := fn.Units[unitIdx]
-	rec := &logging.Record{Kind: logging.RecShPrelog, Stmt: u.Stmt}
-	rec.Globals = make(logging.Pairs, 0, len(u.Globals))
+	rec := p.Book.NewRecord()
+	rec.Kind, rec.Stmt = logging.RecShPrelog, u.Stmt
+	rec.Globals = p.Book.TakePairs(rec.Globals, len(u.Globals))
 	for _, gid := range u.Globals {
-		rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.Globals[gid].Clone()})
+		rec.Globals = append(rec.Globals, logging.VarVal{Idx: gid, Val: v.snapGlobal(gid)})
 	}
 	p.Book.Append(rec)
 }

@@ -54,10 +54,7 @@ func (v *VM) execSemP(p *Proc, in *bytecode.Instr) {
 			from = s.pendingVGsn
 		}
 		s.pendingVGsn, s.pendingVPid = 0, -1
-		v.logSync(p, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpP, Obj: in.A,
-			Stmt: in.Stmt, Gsn: gsn, FromGsn: from, Value: s.count,
-		})
+		v.logSyncEvent(p, logging.OpP, in.A, in.Stmt, gsn, from, s.count)
 		v.traceSync(p, in, logging.OpP, in.A)
 		return
 	}
@@ -87,10 +84,7 @@ func (v *VM) execSemV(p *Proc, in *bytecode.Instr) {
 		return
 	}
 	gsn := v.nextGsn()
-	v.logSync(p, &logging.Record{
-		Kind: logging.RecSync, Op: logging.OpV, Obj: in.A,
-		Stmt: in.Stmt, Gsn: gsn, Value: s.count,
-	})
+	v.logSyncEvent(p, logging.OpV, in.A, in.Stmt, gsn, 0, s.count)
 	v.traceSync(p, in, logging.OpV, in.A)
 
 	if len(s.waiters) > 0 {
@@ -101,10 +95,7 @@ func (v *VM) execSemV(p *Proc, in *bytecode.Instr) {
 		w.Status = StatusReady
 		v.ready = append(v.ready, w)
 		wGsn := v.nextGsn()
-		v.logSyncFor(w, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpP, Obj: in.A,
-			Stmt: w.blockStmt, Gsn: wGsn, FromGsn: gsn, Value: s.count,
-		})
+		v.logSyncEvent(w, logging.OpP, in.A, w.blockStmt, wGsn, gsn, s.count)
 		if v.Opts.Mode == ModeFullTrace {
 			w.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: w.blockStmt, Op: logging.OpP, Obj: in.A})
 		}
@@ -116,16 +107,6 @@ func (v *VM) execSemV(p *Proc, in *bytecode.Instr) {
 	} else {
 		s.pendingVGsn, s.pendingVPid = 0, -1
 	}
-}
-
-// logSyncFor appends a sync record for a process other than the one
-// currently executing (used when unblocking).
-func (v *VM) logSyncFor(p *Proc, rec *logging.Record) {
-	if v.Opts.Mode != ModeLog {
-		return
-	}
-	rec.Reads, rec.Writes = p.takeEdgeSets()
-	p.Book.Append(rec)
 }
 
 func (v *VM) execSend(p *Proc, in *bytecode.Instr, val int64) {
@@ -145,10 +126,7 @@ func (v *VM) execSend(p *Proc, in *bytecode.Instr, val int64) {
 		return
 	}
 	gsn := v.nextGsn()
-	v.logSync(p, &logging.Record{
-		Kind: logging.RecSync, Op: logging.OpSend, Obj: in.A,
-		Stmt: in.Stmt, Gsn: gsn, Value: val,
-	})
+	v.logSyncEvent(p, logging.OpSend, in.A, in.Stmt, gsn, 0, val)
 	v.traceSync(p, in, logging.OpSend, in.A)
 
 	if len(ch.recvers) > 0 {
@@ -160,19 +138,13 @@ func (v *VM) execSend(p *Proc, in *bytecode.Instr, val int64) {
 		v.ready = append(v.ready, w)
 		w.top().Stack = append(w.top().Stack, val)
 		rGsn := v.nextGsn()
-		v.logSyncFor(w, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
-			Stmt: w.blockStmt, Gsn: rGsn, FromGsn: gsn, Value: val,
-		})
+		v.logSyncEvent(w, logging.OpRecv, in.A, w.blockStmt, rGsn, gsn, val)
 		if v.Opts.Mode == ModeFullTrace {
 			w.Tbuf.Append(trace.Event{Kind: trace.EvSync, Stmt: w.blockStmt, Op: logging.OpRecv, Obj: in.A})
 		}
 		if ch.cap == 0 {
 			uGsn := v.nextGsn()
-			v.logSync(p, &logging.Record{
-				Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
-				Stmt: in.Stmt, Gsn: uGsn, FromGsn: rGsn,
-			})
+			v.logSyncEvent(p, logging.OpUnblock, in.A, in.Stmt, uGsn, rGsn, 0)
 		}
 		return
 	}
@@ -213,10 +185,7 @@ func (v *VM) execRecv(p *Proc, in *bytecode.Instr) {
 		ch.buf = ch.buf[1:]
 		f.Stack = append(f.Stack, m.val)
 		gsn := v.nextGsn()
-		v.logSync(p, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
-			Stmt: in.Stmt, Gsn: gsn, FromGsn: m.gsn, Value: m.val,
-		})
+		v.logSyncEvent(p, logging.OpRecv, in.A, in.Stmt, gsn, m.gsn, m.val)
 		v.traceSync(p, in, logging.OpRecv, in.A)
 		// A blocked sender can now place its message in the freed slot.
 		if len(ch.senders) > 0 {
@@ -226,10 +195,7 @@ func (v *VM) execRecv(p *Proc, in *bytecode.Instr) {
 			s.Status = StatusReady
 			v.ready = append(v.ready, s)
 			uGsn := v.nextGsn()
-			v.logSyncFor(s, &logging.Record{
-				Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
-				Stmt: s.blockStmt, Gsn: uGsn, FromGsn: gsn,
-			})
+			v.logSyncEvent(s, logging.OpUnblock, in.A, s.blockStmt, uGsn, gsn, 0)
 		}
 		return
 	}
@@ -240,18 +206,12 @@ func (v *VM) execRecv(p *Proc, in *bytecode.Instr) {
 		ch.senders = ch.senders[1:]
 		f.Stack = append(f.Stack, s.sendVal)
 		gsn := v.nextGsn()
-		v.logSync(p, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpRecv, Obj: in.A,
-			Stmt: in.Stmt, Gsn: gsn, FromGsn: s.sendGsn, Value: s.sendVal,
-		})
+		v.logSyncEvent(p, logging.OpRecv, in.A, in.Stmt, gsn, s.sendGsn, s.sendVal)
 		v.traceSync(p, in, logging.OpRecv, in.A)
 		s.Status = StatusReady
 		v.ready = append(v.ready, s)
 		uGsn := v.nextGsn()
-		v.logSyncFor(s, &logging.Record{
-			Kind: logging.RecSync, Op: logging.OpUnblock, Obj: in.A,
-			Stmt: s.blockStmt, Gsn: uGsn, FromGsn: gsn,
-		})
+		v.logSyncEvent(s, logging.OpUnblock, in.A, s.blockStmt, uGsn, gsn, 0)
 		return
 	}
 	// Nothing available: block.

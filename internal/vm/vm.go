@@ -70,6 +70,16 @@ type Options struct {
 	// the halt make the stopped state debuggable like any other.
 	BreakAt ast.StmtID
 
+	// LogSink, when non-nil under ModeLog, streams the log: every record
+	// is encoded through the binary codec as it is produced and recycled,
+	// so a long run holds buffered encoded bytes instead of record
+	// structures. The sink receives, at run end, exactly the bytes
+	// ProgramLog.Write would have produced for the same records. The
+	// in-memory (retained) log remains the default; a streamed run's log
+	// must be re-read with logging.Read before the debugging phase can use
+	// it.
+	LogSink io.Writer
+
 	// Obs receives execution-phase metrics: the "exec.run" phase scope and
 	// the exec.steps / exec.ctxswitches / exec.procs counters, folded in
 	// once when the run ends. nil disables observation; the interpreter's
@@ -131,6 +141,19 @@ type Frame struct {
 	PC    int
 	Slots []Value
 	Stack []int64
+
+	// arrSnap is the frame's copy-on-write snapshot cache for local
+	// arrays, indexed by slot (ModeLog only, and only for functions that
+	// declare arrays). A prelog/postlog reuses the cached snapshot until
+	// an indexed store dirties the slot, so an unwritten array is never
+	// deep-cloned twice.
+	arrSnap []arrSnap
+}
+
+// arrSnap caches one array's last logged snapshot with its dirty bit.
+type arrSnap struct {
+	dirty bool
+	arr   []int64
 }
 
 // Proc is one simulated process.
@@ -154,8 +177,16 @@ type Proc struct {
 
 	lastStmt ast.StmtID // trace statement-boundary detection
 
+	// spare recycles popped frames: a call pops one back instead of
+	// allocating a fresh Frame + Slots + Stack (call-heavy programs spend
+	// a large share of their time there).
+	spare []*Frame
+
 	Err *RuntimeError
 }
+
+// maxSpareFrames bounds the per-process frame freelist.
+const maxSpareFrames = 8
 
 func (p *Proc) top() *Frame { return p.Frames[len(p.Frames)-1] }
 
@@ -210,7 +241,33 @@ type VM struct {
 	// BreakHit reports that execution halted at Options.BreakAt.
 	BreakHit bool
 
+	// SinkErr is a failure flushing Options.LogSink at run end; it is kept
+	// separate from the run error so a program failure (the interesting
+	// outcome) is never masked by a broken sink.
+	SinkErr error
+
 	numGlobals int
+
+	// sliceKind is the interpreter specialization picked once at New (see
+	// loops.go): the per-instruction mode/break/trace predicates are
+	// decided per scheduling slice, not per step.
+	sliceKind sliceKind
+
+	// shared mirrors Prog.Globals[i].Shared as a dense bool slice so the
+	// ModeLog hot loop's read/write marking is one index, not a struct
+	// field chase (ModeLog only).
+	shared []bool
+
+	// gSnap/gDirty implement copy-on-write global array snapshots
+	// (ModeLog only): a prelog reuses gSnap[gid] until an indexed store
+	// sets gDirty[gid], so unwritten arrays are never re-cloned.
+	gSnap  [][]int64
+	gDirty []bool
+
+	// argScratch is the reusable call-argument buffer for modes that do
+	// not retain argument slices (everything except full trace and
+	// emulation, whose events/hooks may hold onto them).
+	argScratch []int64
 
 	// Emulation support (ModeEmulate).
 	hooks   Hooks
@@ -250,10 +307,20 @@ func New(prog *bytecode.Program, opts Options) *VM {
 	}
 	if opts.Mode == ModeLog {
 		v.Log = logging.NewProgramLog()
+		if opts.LogSink != nil {
+			v.Log.SetStream(opts.LogSink)
+		}
+		v.shared = make([]bool, len(prog.Globals))
+		for i, g := range prog.Globals {
+			v.shared[i] = g.Shared
+		}
+		v.gSnap = make([][]int64, len(prog.Globals))
+		v.gDirty = make([]bool, len(prog.Globals))
 	}
 	if opts.Mode == ModeFullTrace {
 		v.Trace = &trace.Program{}
 	}
+	v.sliceKind = pickSliceKind(v.Opts)
 	return v
 }
 
@@ -271,35 +338,61 @@ func (v *VM) newProc(fn *bytecode.Func, args []int64, fromGsn uint64) *Proc {
 		reads:  bitset.New(v.numGlobals),
 		writes: bitset.New(v.numGlobals),
 	}
-	p.Frames = []*Frame{v.newFrame(fn, args)}
+	p.Frames = []*Frame{v.newFrame(p, fn, args)}
 	v.Procs = append(v.Procs, p)
 	v.ready = append(v.ready, p)
 	switch v.Opts.Mode {
 	case ModeLog:
 		p.Book = v.Log.BookFor(p.PID)
-		p.Book.Append(&logging.Record{
-			Kind:    logging.RecStart,
-			FromGsn: fromGsn,
-		})
+		rec := p.Book.NewRecord()
+		rec.Kind = logging.RecStart
+		rec.FromGsn = fromGsn
+		p.Book.Append(rec)
 	case ModeFullTrace:
 		p.Tbuf = v.Trace.BufferFor(p.PID)
 	}
 	return p
 }
 
-func (v *VM) newFrame(fn *bytecode.Func, args []int64) *Frame {
-	f := &Frame{
-		Fn:    fn,
-		Slots: make([]Value, fn.NumSlots),
-		Stack: make([]int64, 0, 16),
+func (v *VM) newFrame(p *Proc, fn *bytecode.Func, args []int64) *Frame {
+	var f *Frame
+	if n := len(p.spare); n > 0 && cap(p.spare[n-1].Slots) >= fn.NumSlots {
+		f = p.spare[n-1]
+		p.spare = p.spare[:n-1]
+		f.Fn = fn
+		f.PC = 0
+		f.Stack = f.Stack[:0]
+		f.Slots = f.Slots[:fn.NumSlots]
+		clear(f.Slots)
+		f.arrSnap = nil
+	} else {
+		f = &Frame{
+			Fn:    fn,
+			Slots: make([]Value, fn.NumSlots),
+			Stack: make([]int64, 0, 16),
+		}
 	}
 	for slot, length := range fn.ArraySlots {
 		f.Slots[slot] = Value{Arr: make([]int64, length)}
+	}
+	if v.Opts.Mode == ModeLog && len(fn.ArraySlots) > 0 {
+		f.arrSnap = make([]arrSnap, fn.NumSlots)
 	}
 	for i, a := range args {
 		f.Slots[fn.ParamSlots[i]] = Value{Int: a}
 	}
 	return f
+}
+
+// releaseFrame recycles a popped frame onto the process's freelist.
+// Emulation frames are excluded: hooks may retain references across the
+// emulated interval.
+func (v *VM) releaseFrame(p *Proc, f *Frame) {
+	if v.Opts.Mode == ModeEmulate || len(p.spare) >= maxSpareFrames {
+		return
+	}
+	f.Fn = nil
+	p.spare = append(p.spare, f)
 }
 
 // Run executes the program to completion (all processes done), failure, or
@@ -312,7 +405,7 @@ func (v *VM) Run() error {
 	sc.End()
 	v.flushHaltedEdges()
 	v.foldObs()
-	return err
+	return v.closeSink(err)
 }
 
 // RunFunc executes the program with fn(args) as the initial process instead
@@ -324,7 +417,23 @@ func (v *VM) RunFunc(fn *bytecode.Func, args []int64) error {
 	sc.End()
 	v.flushHaltedEdges()
 	v.foldObs()
-	return err
+	return v.closeSink(err)
+}
+
+// closeSink flushes the streaming sink, if any, after the final records
+// (exit flushes included) are appended. A sink failure is reported through
+// SinkErr and, when the run itself succeeded, as the returned error.
+func (v *VM) closeSink(runErr error) error {
+	if v.Log == nil || !v.Log.Streamed() {
+		return runErr
+	}
+	if err := v.Log.CloseStream(); err != nil {
+		v.SinkErr = err
+		if runErr == nil {
+			return err
+		}
+	}
+	return runErr
 }
 
 // foldObs publishes the run's plain-field tallies into the sink, once.
@@ -371,11 +480,12 @@ func (v *VM) flushHaltedEdges() {
 				stmt = p.Err.Stmt
 			}
 		}
-		rec := &logging.Record{Kind: logging.RecExit, Stmt: stmt, Value: status, Obj: -1}
+		rec := p.Book.NewRecord()
+		rec.Kind, rec.Stmt, rec.Value, rec.Obj = logging.RecExit, stmt, status, -1
 		if status >= logging.ExitBlockedSem && status <= logging.ExitBlockedRecv {
 			rec.Obj = p.waitObj
 		}
-		rec.Reads, rec.Writes = p.takeEdgeSets()
+		p.fillEdgeSets(rec)
 		p.Book.Append(rec)
 	}
 }
@@ -424,19 +534,24 @@ func (v *VM) loop() error {
 			v.lastSched = p
 		}
 
-		for q := 0; q < v.Opts.Quantum && p.Status == StatusReady; q++ {
-			v.Steps++
-			if v.Steps > v.Opts.MaxSteps {
-				v.fail(p, ast.NoStmt, "instruction budget exhausted")
-				break
-			}
-			v.step(p)
-			if v.Failure != nil {
-				return v.Failure
-			}
-			if v.BreakHit {
-				return nil
-			}
+		// One scheduling slice: the interpreter specialization was decided
+		// at New (loops.go), so the per-instruction mode/trace/break
+		// predicates are not re-evaluated inside the dispatch path.
+		switch v.sliceKind {
+		case sliceRun:
+			v.runSliceRun(p)
+		case sliceLog:
+			v.runSliceLog(p)
+		case sliceTrace:
+			v.runSliceTrace(p)
+		default:
+			v.runSliceGeneric(p)
+		}
+		if v.Failure != nil {
+			return v.Failure
+		}
+		if v.BreakHit {
+			return nil
 		}
 	}
 }
@@ -454,8 +569,9 @@ func (v *VM) fail(p *Proc, stmt ast.StmtID, format string, args ...any) {
 func (v *VM) finish(p *Proc) {
 	p.Status = StatusDone
 	if v.Opts.Mode == ModeLog {
-		rec := &logging.Record{Kind: logging.RecExit, Value: logging.ExitClean}
-		rec.Reads, rec.Writes = p.takeEdgeSets()
+		rec := p.Book.NewRecord()
+		rec.Kind, rec.Value = logging.RecExit, logging.ExitClean
+		p.fillEdgeSets(rec)
 		p.Book.Append(rec)
 	}
 	if v.Opts.Mode == ModeFullTrace {
@@ -463,14 +579,14 @@ func (v *VM) finish(p *Proc) {
 	}
 }
 
-// takeEdgeSets returns and resets the current internal edge's shared
-// read/write sets.
-func (p *Proc) takeEdgeSets() (reads, writes []int) {
-	reads = p.reads.Elems()
-	writes = p.writes.Elems()
+// fillEdgeSets moves the current internal edge's shared read/write sets
+// into rec (reusing the record's slice capacity when it was recycled) and
+// resets them.
+func (p *Proc) fillEdgeSets(rec *logging.Record) {
+	rec.Reads = p.reads.AppendTo(rec.Reads)
+	rec.Writes = p.writes.AppendTo(rec.Writes)
 	p.reads.Clear()
 	p.writes.Clear()
-	return reads, writes
 }
 
 // CurrentStmt reports where a process is stopped (for the debugger UI).

@@ -101,6 +101,14 @@ type Options struct {
 	// debugging-phase builds and queries) as one timestamped line per
 	// scope. It does not affect the collected Stats.
 	Trace io.Writer
+	// LogSink, when non-nil, streams the execution log during RunLogged:
+	// each record is encoded in PPD's binary format as it is produced and
+	// its memory recycled, so a long run retains compact encoded bytes
+	// instead of record structures. At run end the sink holds exactly the
+	// bytes WriteLog would have produced. A streamed Execution keeps no
+	// in-memory records — load the sink's bytes back with Program.ReadLog
+	// before starting the debugging phase.
+	LogSink io.Writer
 }
 
 // validate rejects option values that would otherwise be silently coerced
@@ -167,6 +175,9 @@ func (p *Program) Run(opts Options) error {
 // RunLogged executes the paper's execution phase, producing the log the
 // debugging phase consumes. The returned Execution is valid even when the
 // program failed or deadlocked — that is precisely when it is interesting.
+// With Options.LogSink set, the log is streamed to the sink instead of
+// retained; a sink write failure on a run that otherwise succeeded is
+// returned as the error.
 func (p *Program) RunLogged(opts Options) (*Execution, error) {
 	if err := opts.validate(p.art); err != nil {
 		return nil, err
@@ -192,6 +203,7 @@ func vmOptions(opts Options, mode vm.Mode, sink *obs.Sink) vm.Options {
 		MaxSteps: opts.MaxSteps,
 		Output:   opts.Output,
 		BreakAt:  ast.StmtID(opts.BreakAt),
+		LogSink:  opts.LogSink,
 		Obs:      sink,
 	}
 }
@@ -224,7 +236,9 @@ func (e *Execution) AtBreakpoint() bool { return e.vm.BreakHit }
 func (e *Execution) Log() *Log { return e.vm.Log }
 
 // WriteLog persists the log in PPD's binary format (one artifact for the
-// whole execution; the books inside remain per-process, §5.6).
+// whole execution; the books inside remain per-process, §5.6). It errors on
+// a streamed execution: the records already went to Options.LogSink, which
+// holds these exact bytes.
 func (e *Execution) WriteLog(w io.Writer) error { return e.vm.Log.Write(w) }
 
 // ReadLog loads a log persisted by WriteLog and binds it to the program as
