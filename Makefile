@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune
 
 all: build
 
@@ -44,7 +44,18 @@ cover:
 	fi; \
 	echo "cover: internal/obs $$obs% (floor $(OBS_COVER_FLOOR)%)"
 
-ci: check cover bench-smoke
+# Static analysis over the checked-in MPL programs, with expectations:
+# the clean programs must pass `ppd vet -strict`, and the racy program
+# must fail it (so a regression that silences the analyzer breaks CI too).
+vet-mpl: build
+	$(GO) run ./cmd/ppd vet -strict testdata/quick.mpl
+	$(GO) run ./cmd/ppd vet -strict testdata/crash.mpl
+	@if $(GO) run ./cmd/ppd vet -strict testdata/racy.mpl >/dev/null 2>&1; then \
+		echo "vet-mpl: racy.mpl must fail vet -strict"; exit 1; \
+	fi
+	@echo "vet-mpl: OK"
+
+ci: check cover bench-smoke vet-mpl
 	@echo "ci: OK"
 
 bench:
@@ -66,3 +77,7 @@ obsoverhead: build
 # Regenerate the E15 execution-hot-path table (writes BENCH_exec.json).
 execlog: build
 	$(GO) run ./cmd/ppdbench execlog
+
+# Regenerate the E16 static-pruning table (writes BENCH_analysis.json).
+vetprune: build
+	$(GO) run ./cmd/ppdbench vetprune

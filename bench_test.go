@@ -157,11 +157,11 @@ func benchRaceDetector(b *testing.B, detect func(*parallel.Graph) []*race.Race) 
 	}
 }
 
-func BenchmarkRaceNaive(b *testing.B)  { benchRaceDetector(b, race.Naive) }
-func BenchmarkRacePruned(b *testing.B) { benchRaceDetector(b, race.Indexed) }
+func BenchmarkRaceNaive(b *testing.B)   { benchRaceDetector(b, race.Naive) }
+func BenchmarkRaceIndexed(b *testing.B) { benchRaceDetector(b, race.Indexed) }
 
 // BenchmarkRaceParallel is E13's detector half: Indexed's per-variable
-// buckets sharded across a worker pool. Compare against BenchmarkRacePruned
+// buckets sharded across a worker pool. Compare against BenchmarkRaceIndexed
 // at each worker count; on a multi-core machine w>=4 should beat it on
 // workloads.Sharded(8, 80), and the output race set is golden-identical
 // (TestDetectorsEquivalence).

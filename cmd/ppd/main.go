@@ -6,6 +6,7 @@
 //	ppd run prog.mpl [flags]        execution phase (optionally logged)
 //	ppd debug prog.mpl [flags]      run logged, then interactive flowback
 //	ppd races prog.mpl [flags]      run logged, then race detection
+//	ppd vet prog.mpl [flags]        static analysis only: report diagnostics
 //	ppd stats prog.mpl [flags]      all three phases, then the obs snapshot
 //
 // Example:
@@ -49,6 +50,8 @@ func main() {
 		err = cmdDebug(args)
 	case "races":
 		err = cmdRaces(args)
+	case "vet":
+		err = cmdVet(args)
 	case "stats":
 		err = cmdStats(args)
 	case "help", "-h", "--help":
@@ -72,6 +75,8 @@ commands:
   run       execute the program (flags: -seed -quantum -mode run|log|trace)
   debug     execute logged, then start the interactive flowback debugger
   races     execute logged, then detect races (flags: -seed -sweep N)
+  vet       static analysis: race candidates, sync lints, uninitialized
+            reads, dead stores (flags: -json -strict -timings)
   stats     run all three phases and print the observability snapshot
             (flags: -seed -quantum -json -trace)
 `)
@@ -261,6 +266,11 @@ func cmdRaces(args []string) error {
 	if err != nil {
 		return err
 	}
+	names := make([]string, len(art.Prog.Globals))
+	for gid, def := range art.Prog.Globals {
+		names[gid] = def.Name
+	}
+	mask := art.Vet(nil).Conflicts.Mask()
 	anyRace := false
 	for s := int64(0); s < int64(*sweep); s++ {
 		v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Seed: *seed + s, Quantum: *quantum})
@@ -268,12 +278,12 @@ func cmdRaces(args []string) error {
 			fmt.Printf("seed %d: execution halted: %v\n", *seed+s, rerr)
 		}
 		g := parallel.Build(v.Log, len(art.Prog.Globals))
-		races := race.Indexed(g)
+		g.VarNames = names
+		races := race.IndexedMasked(g, mask, nil)
 		if len(races) > 0 {
 			anyRace = true
 		}
-		fmt.Printf("seed %d: %s", *seed+s,
-			race.Report(races, func(gid int) string { return art.Prog.Globals[gid].Name }))
+		fmt.Printf("seed %d: %s", *seed+s, race.Report(races, nil))
 	}
 	if anyRace {
 		os.Exit(1)

@@ -183,3 +183,76 @@ func main() { spawn w(); spawn w(); P(done); P(done); print(counter); }`)
 		t.Error("expected error for missing file")
 	}
 }
+
+func TestCmdVet(t *testing.T) {
+	racy := writeProgram(t, `
+shared SV;
+sem done = 0;
+func w() { SV = SV + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); print(SV); }`)
+	clean := writeProgram(t, `func main() { print(1); }`)
+
+	var out bytes.Buffer
+	failed, err := runVet([]string{racy}, &out)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if failed {
+		t.Error("without -strict a warning must not fail the run")
+	}
+	for _, want := range []string{"[race-candidate]", "warning", "SV"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("vet output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	failed, err = runVet([]string{"-strict", racy}, &out)
+	if err != nil || !failed {
+		t.Errorf("-strict on a warning must fail (failed=%v err=%v)", failed, err)
+	}
+
+	out.Reset()
+	failed, err = runVet([]string{"-strict", clean}, &out)
+	if err != nil || failed {
+		t.Errorf("-strict on a clean program must pass (failed=%v err=%v)", failed, err)
+	}
+	if out.String() != "no diagnostics\n" {
+		t.Errorf("clean program output: %q", out.String())
+	}
+
+	out.Reset()
+	if _, err := runVet([]string{"-json", racy}, &out); err != nil {
+		t.Fatalf("vet -json: %v", err)
+	}
+	var rep struct {
+		Diagnostics []struct {
+			Code string `json:"code"`
+			Pos  string `json:"pos"`
+		} `json:"diagnostics"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("vet -json produced invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Warnings == 0 || len(rep.Diagnostics) == 0 || rep.Diagnostics[0].Pos == "" {
+		t.Errorf("vet -json incomplete: %s", out.String())
+	}
+
+	out.Reset()
+	if _, err := runVet([]string{"-timings", racy}, &out); err != nil {
+		t.Fatalf("vet -timings: %v", err)
+	}
+	for _, want := range []string{"pass racecand", "pass total"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("vet -timings missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if _, err := runVet(nil, &out); err == nil {
+		t.Error("expected usage error")
+	}
+	if _, err := runVet([]string{"/nonexistent.mpl"}, &out); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

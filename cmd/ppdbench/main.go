@@ -14,6 +14,8 @@
 //	ppdbench obsoverhead  E14 observability layer cost: obs off vs. on
 //	ppdbench execlog      E15 execution hot path: ModeRun vs ModeLog vs
 //	                      streamed sink (also writes BENCH_exec.json)
+//	ppdbench vetprune     E16 static conflict pruning of race detection
+//	                      (also writes BENCH_analysis.json)
 //	ppdbench all          everything
 package main
 
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"ppd/internal/analysis"
 	"ppd/internal/bitset"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
@@ -66,6 +69,7 @@ func main() {
 	run("pardebug", pardebug)
 	run("obsoverhead", obsOverhead)
 	run("execlog", execlog)
+	run("vetprune", vetprune)
 }
 
 // timeRun executes the program under the given mode and returns the best-
@@ -593,4 +597,76 @@ func obsOverhead(w io.Writer) {
 	rOn := bestOf(4*reps, func() { race.ParallelObs(g, 4, sink) })
 	fmt.Fprintf(w, "%-24s %12v %12v %8.1f%%\n", "race.Parallel w=4", rOff, rOn,
 		100*float64(rOn-rOff)/float64(rOff))
+}
+
+// vetprune is E16: static conflict pruning of the dynamic race detector.
+// The conflict-sparse sharded workload (each worker owns its shard, so the
+// conflict matrix is empty) is the payoff case; the conflict-dense racy
+// counter (every process hits one variable) bounds the cost of a mask that
+// prunes nothing. Reports static-analysis time, unpruned vs pruned Indexed
+// detection, and the pruned bucket count; writes BENCH_analysis.json.
+func vetprune(w io.Writer) {
+	fmt.Fprintln(w, "=== E16: static conflict pruning of dynamic race detection ===")
+	fmt.Fprintf(w, "%-16s %12s %12s %12s %8s %8s %6s\n",
+		"workload", "analysis", "unpruned", "pruned", "speedup", "skipped", "races")
+
+	type row struct {
+		Workload      string  `json:"workload"`
+		AnalysisNs    int64   `json:"analysis_ns"`
+		UnprunedNs    int64   `json:"unpruned_ns"`
+		PrunedNs      int64   `json:"pruned_ns"`
+		Speedup       float64 `json:"speedup"`
+		CandidateVars int     `json:"candidate_vars"`
+		BucketsPruned int64   `json:"buckets_pruned"`
+		Races         int     `json:"races"`
+	}
+	var rows []row
+	for _, wl := range []*workloads.Workload{
+		workloads.Sharded(24, 400),
+		workloads.RacyCounter(8, 200, false),
+	} {
+		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 3})
+		if err := v.Run(); err != nil {
+			panic(err)
+		}
+		g := parallel.Build(v.Log, len(inst.Prog.Globals))
+
+		var res *analysis.Result
+		tAnalysis := bestOf(reps, func() { res = analysis.Analyze(inst.PDG, inst.Prog, nil) })
+		mask := res.Conflicts.Mask()
+		tUnpruned := bestOf(reps, func() { race.Indexed(g) })
+		tPruned := bestOf(reps, func() { race.IndexedMasked(g, mask, nil) })
+
+		sink := obs.New()
+		races := race.IndexedMasked(g, mask, sink)
+		// Cross-check: pruning must not change the verdict.
+		if len(races) != len(race.Indexed(g)) {
+			panic("pruned detector diverged from unfiltered on " + wl.Name)
+		}
+		pruned := sink.Snapshot().Counters["race.buckets.pruned"]
+
+		r := row{
+			Workload: wl.Name, AnalysisNs: tAnalysis.Nanoseconds(),
+			UnprunedNs: tUnpruned.Nanoseconds(), PrunedNs: tPruned.Nanoseconds(),
+			Speedup:       float64(tUnpruned) / float64(tPruned),
+			CandidateVars: res.Conflicts.NumCandidates(),
+			BucketsPruned: pruned,
+			Races:         len(races),
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(w, "%-16s %12v %12v %12v %7.2fx %8d %6d\n",
+			wl.Name, tAnalysis, tUnpruned, tPruned, r.Speedup, r.BucketsPruned, r.Races)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_analysis.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_analysis.json")
 }

@@ -1,0 +1,233 @@
+// Package analysis is the compile-time companion to the dynamic debugger:
+// a pass manager over the artifacts the §5 semantic-analysis phase already
+// produces (CFGs, use/def facts, reaching definitions, interprocedural
+// MOD/REF summaries, the simplified static graph with its sync units).
+//
+// Where the dynamic phases find the races and deadlocks that *did* happen
+// in one execution instance, these passes report what *may* happen in any
+// instance — static race candidates, semaphore lock-order cycles,
+// unmatched P/V pairs, uninitialized shared reads, dead stores — before a
+// single instruction runs. The race-candidate pass additionally emits a
+// per-variable conflict matrix whose projection (Mask) lets the dynamic
+// detectors skip buckets for variables no pair of processes can conflict
+// on, attacking the §7 pair-enumeration cost from the static side.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/bytecode"
+	"ppd/internal/obs"
+	"ppd/internal/pdg"
+	"ppd/internal/source"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, mildest first. Warnings (and errors) make `ppd vet -strict`
+// exit non-zero; infos never do.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "?"
+}
+
+// Related is a secondary source position attached to a diagnostic — the
+// "note:" lines of a compiler report.
+type Related struct {
+	Pos     source.Position
+	Message string
+}
+
+// Diagnostic is one finding: a stable code (e.g. "race-candidate"), a
+// severity, the primary source position, a human message, and any related
+// positions (conflicting accesses, the edges of a lock cycle, ...).
+type Diagnostic struct {
+	Code    string
+	Sev     Severity
+	Pos     source.Position
+	Message string
+	Related []Related
+}
+
+// String renders the diagnostic's primary line.
+func (d *Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Sev, d.Message, d.Code)
+}
+
+// A pass inspects the compile artifacts and reports diagnostics. Passes
+// never mutate the artifacts and are independent: each sees the same
+// context and their outputs are concatenated then sorted.
+type pass struct {
+	name string
+	desc string
+	run  func(*context) []*Diagnostic
+}
+
+// passes in execution order. The order does not affect output (diagnostics
+// are position-sorted) but is the order of the per-pass obs timers.
+var passes = []pass{
+	{"racecand", "static race candidates via MHP × MOD/REF", racecandPass},
+	{"synclint", "semaphore lock-order cycles and unmatched P/V", synclintPass},
+	{"uninit", "uninitialized shared reads via reaching definitions", uninitPass},
+	{"deadstore", "dead stores and unused shared variables", deadstorePass},
+}
+
+// PassNames lists the analysis passes in execution order.
+func PassNames() []string {
+	out := make([]string, len(passes))
+	for i, p := range passes {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Result bundles one full analysis run.
+type Result struct {
+	Diagnostics []*Diagnostic
+	// Conflicts is the racecand pass's per-variable conflict matrix; its
+	// Mask prunes the dynamic detectors.
+	Conflicts *ConflictMatrix
+	// PerPass counts diagnostics by pass name.
+	PerPass map[string]int
+}
+
+// Analyze runs every pass over a compiled program. p and bprog come from
+// the same compile; sink (which may be nil) receives one
+// "analysis.<pass>" scope per pass plus an "analysis.total" scope and
+// "analysis.diags" counter.
+func Analyze(p *pdg.Program, bprog *bytecode.Program, sink *obs.Sink) *Result {
+	total := sink.Scope("analysis.total")
+	defer total.End()
+
+	ctx := newContext(p, bprog)
+	res := &Result{PerPass: make(map[string]int, len(passes))}
+	for _, ps := range passes {
+		sc := sink.Scope("analysis." + ps.name)
+		ds := ps.run(ctx)
+		sc.End()
+		res.Diagnostics = append(res.Diagnostics, ds...)
+		res.PerPass[ps.name] = len(ds)
+	}
+	res.Conflicts = ctx.conflicts
+	sortDiagnostics(res.Diagnostics)
+	sink.Counter("analysis.diags").Add(int64(len(res.Diagnostics)))
+	return res
+}
+
+// sortDiagnostics orders by position, then code, then message — the
+// stable order the golden tests pin.
+func sortDiagnostics(ds []*Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Counts returns the number of warnings-or-worse and the number of infos.
+func (r *Result) Counts() (warnings, infos int) {
+	for _, d := range r.Diagnostics {
+		if d.Sev >= Warning {
+			warnings++
+		} else {
+			infos++
+		}
+	}
+	return warnings, infos
+}
+
+// Clean reports whether the run produced no diagnostics at all.
+func (r *Result) Clean() bool { return len(r.Diagnostics) == 0 }
+
+// Text renders the result in the compiler-report format `ppd vet` prints
+// and the golden tests pin: one line per diagnostic, indented notes for
+// related positions, and a trailing summary line.
+func (r *Result) Text() string {
+	if r.Clean() {
+		return "no diagnostics\n"
+	}
+	var sb strings.Builder
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&sb, "%s\n", d)
+		for _, rel := range d.Related {
+			fmt.Fprintf(&sb, "\tnote: %s: %s\n", rel.Pos, rel.Message)
+		}
+	}
+	w, i := r.Counts()
+	fmt.Fprintf(&sb, "%d diagnostic(s): %d warning(s), %d info\n", len(r.Diagnostics), w, i)
+	return sb.String()
+}
+
+// jsonDiag is the wire shape of one diagnostic.
+type jsonDiag struct {
+	Code     string       `json:"code"`
+	Severity string       `json:"severity"`
+	Pos      string       `json:"pos"`
+	Line     int          `json:"line"`
+	Col      int          `json:"col"`
+	Message  string       `json:"message"`
+	Related  []jsonRelate `json:"related,omitempty"`
+}
+
+type jsonRelate struct {
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+// JSON renders the result for machine consumption (`ppd vet -json`).
+func (r *Result) JSON() ([]byte, error) {
+	w, i := r.Counts()
+	out := struct {
+		Diagnostics []jsonDiag     `json:"diagnostics"`
+		Warnings    int            `json:"warnings"`
+		Infos       int            `json:"infos"`
+		PerPass     map[string]int `json:"per_pass"`
+		Candidates  int            `json:"race_candidate_vars"`
+	}{
+		Diagnostics: []jsonDiag{},
+		Warnings:    w,
+		Infos:       i,
+		PerPass:     r.PerPass,
+		Candidates:  r.Conflicts.NumCandidates(),
+	}
+	for _, d := range r.Diagnostics {
+		jd := jsonDiag{
+			Code:     d.Code,
+			Severity: d.Sev.String(),
+			Pos:      d.Pos.String(),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, rel := range d.Related {
+			jd.Related = append(jd.Related, jsonRelate{Pos: rel.Pos.String(), Message: rel.Message})
+		}
+		out.Diagnostics = append(out.Diagnostics, jd)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"sort"
+
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/bytecode"
+	"ppd/internal/cfg"
+	"ppd/internal/pdg"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+)
+
+// callSite is one static transfer of control to a function: a plain call
+// (inside the caller's process) or a spawn (starting a new process).
+type callSite struct {
+	caller  string
+	stmt    ast.Stmt
+	inLoop  bool // the site sits inside a CFG natural loop of the caller
+	isSpawn bool
+}
+
+// context is the shared, read-only view every pass sees. It precomputes
+// the facts several passes need: call/spawn sites per target and the
+// at-most-once multiplicity of each function.
+type context struct {
+	p    *pdg.Program
+	prog *bytecode.Program
+	info *sem.Info
+	file *source.File
+
+	// sites maps each function name to the plain-call and spawn sites
+	// targeting it, in (caller declaration order, StmtID) order.
+	sites map[string][]callSite
+
+	// onceMemo caches execOnce results; onceStack guards against call
+	// cycles (recursion ⇒ not at-most-once).
+	onceMemo map[string]int // 0 unknown, 1 once, 2 many
+	onceBusy map[string]bool
+
+	// conflicts is filled by the racecand pass.
+	conflicts *ConflictMatrix
+}
+
+func newContext(p *pdg.Program, bprog *bytecode.Program) *context {
+	c := &context{
+		p:        p,
+		prog:     bprog,
+		info:     p.Info,
+		file:     p.Info.Prog.File,
+		sites:    make(map[string][]callSite),
+		onceMemo: make(map[string]int),
+		onceBusy: make(map[string]bool),
+	}
+	c.collectSites()
+	return c
+}
+
+// pos resolves an AST position.
+func (c *context) pos(p source.Pos) source.Position { return c.file.Position(p) }
+
+// declPos is the declaration position of a global symbol.
+func (c *context) declPos(gid int) source.Position {
+	return c.pos(c.info.Globals[gid].DeclPos)
+}
+
+// globalName names a GlobalID.
+func (c *context) globalName(gid int) string { return c.info.Globals[gid].Name }
+
+// globalDecl finds the AST declaration of a global, or nil.
+func (c *context) globalDecl(gid int) *ast.GlobalDecl {
+	name := c.globalName(gid)
+	for _, d := range c.info.Prog.Globals {
+		if d.Name.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// collectSites records, for every function, the plain calls (from the
+// interprocedural direct per-statement facts) and spawns (from the AST)
+// that target it, tagging each with loop membership in the caller's CFG.
+func (c *context) collectSites() {
+	for _, fi := range c.info.FuncList {
+		caller := fi.Name()
+		fp := c.p.Funcs[caller]
+		if fp == nil {
+			continue
+		}
+		inLoop := func(id ast.StmtID) bool {
+			n := fp.CFG.NodeFor(id)
+			if n < 0 {
+				return false
+			}
+			for _, l := range fp.CFG.Loops {
+				for _, b := range l.Body {
+					if b == n {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		// Plain calls: the direct (pre-widening) use/def facts list every
+		// callee of every statement, excluding spawn targets (a SpawnStmt
+		// contributes only the calls inside its argument expressions).
+		ids := make([]ast.StmtID, 0, len(c.p.Inter.UseDefs[caller]))
+		for id := range c.p.Inter.UseDefs[caller] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			ud := c.p.Inter.UseDefs[caller][id]
+			for _, callee := range ud.Calls {
+				c.sites[callee] = append(c.sites[callee], callSite{
+					caller: caller, stmt: c.info.Prog.StmtByID(id), inLoop: inLoop(id),
+				})
+			}
+		}
+		// Spawns: from the AST, which is the only place the spawn target
+		// itself appears (its effects are deliberately absent from the
+		// caller's local data flow).
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if sp, ok := n.(*ast.SpawnStmt); ok {
+				c.sites[sp.Call.Fun.Name] = append(c.sites[sp.Call.Fun.Name], callSite{
+					caller: caller, stmt: sp, inLoop: inLoop(sp.ID()), isSpawn: true,
+				})
+			}
+			return true
+		})
+	}
+}
+
+// spawnSites returns only the spawn sites targeting fn.
+func (c *context) spawnSites(fn string) []callSite {
+	var out []callSite
+	for _, s := range c.sites[fn] {
+		if s.isSpawn {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// execOnce reports whether function fn executes at most once in any run
+// of the program, counting both plain calls and spawns. main executes
+// once implicitly, so it is at-most-once iff nothing else transfers to
+// it; any other function is at-most-once iff it has at most one site,
+// that site is loop-free, and the containing function is itself
+// at-most-once. Call cycles (recursion) are conservatively "many".
+func (c *context) execOnce(fn string) bool {
+	switch c.onceMemo[fn] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	if c.onceBusy[fn] {
+		return false // cycle: recursion may repeat
+	}
+	c.onceBusy[fn] = true
+	once := c.execOnceUncached(fn)
+	c.onceBusy[fn] = false
+	if once {
+		c.onceMemo[fn] = 1
+	} else {
+		c.onceMemo[fn] = 2
+	}
+	return once
+}
+
+func (c *context) execOnceUncached(fn string) bool {
+	sites := c.sites[fn]
+	if fn == c.info.Main.Name() {
+		return len(sites) == 0
+	}
+	switch len(sites) {
+	case 0:
+		return true // never invoked: vacuously at most once
+	case 1:
+		s := sites[0]
+		return !s.inLoop && c.execOnce(s.caller)
+	}
+	return false
+}
+
+// singleInstance reports whether the process class entered at fn can have
+// at most one live instance: exactly one spawn site, outside any loop, in
+// a container that itself executes at most once.
+func (c *context) singleInstance(fn string) bool {
+	sp := c.spawnSites(fn)
+	if len(sp) != 1 {
+		return len(sp) == 0 // only main has no spawn sites
+	}
+	s := sp[0]
+	return !s.inLoop && c.execOnce(s.caller)
+}
+
+// closure is the set of functions fn may execute in its own process:
+// fn plus the transitive plain-call closure (spawned-only callees run in
+// other processes and are excluded, mirroring the interprocedural
+// summaries' Used/Defined closure).
+func (c *context) closure(fn string) map[string]bool {
+	out := map[string]bool{fn: true}
+	work := []string{fn}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := c.p.Inter.Summaries[f]
+		if s == nil {
+			continue
+		}
+		for _, callee := range s.Callees {
+			if s.SpawnedOnly[callee] || out[callee] {
+				continue
+			}
+			out[callee] = true
+			work = append(work, callee)
+		}
+	}
+	return out
+}
+
+// accessSite finds the first (declaration order, then StmtID) statement in
+// the process class entered at entry that writes (or, with write=false,
+// reads) shared global gid, using the direct per-statement facts.
+func (c *context) accessSite(entry string, gid int, write bool) (string, ast.Stmt) {
+	cl := c.closure(entry)
+	for _, fi := range c.info.FuncList {
+		fn := fi.Name()
+		if !cl[fn] {
+			continue
+		}
+		space := c.p.Inter.Spaces[fn]
+		idx := space.GlobalIndex(gid)
+		uds := c.p.Inter.UseDefs[fn]
+		var best ast.Stmt
+		for id, ud := range uds {
+			hit := ud.Use.Has(idx)
+			if write {
+				hit = ud.Def.Has(idx)
+			}
+			if !hit {
+				continue
+			}
+			st := c.info.Prog.StmtByID(id)
+			if st != nil && (best == nil || st.ID() < best.ID()) {
+				best = st
+			}
+		}
+		if best != nil {
+			return fn, best
+		}
+	}
+	return "", nil
+}
+
+// sharedOnly projects a GlobalID set onto the shared variables race
+// detection tracks.
+func (c *context) sharedOnly(s *bitset.Set) *bitset.Set {
+	out := s.Clone()
+	out.IntersectWith(c.p.SharedMask)
+	return out
+}
+
+var _ = cfg.EntryNode // cfg is used by passes sharing this context

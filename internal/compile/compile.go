@@ -6,6 +6,7 @@
 package compile
 
 import (
+	"ppd/internal/analysis"
 	"ppd/internal/ast"
 	"ppd/internal/bytecode"
 	"ppd/internal/eblock"
@@ -46,6 +47,17 @@ func CompileWithObs(file *source.File, cfg eblock.Config, sink *obs.Sink) (*Arti
 // CompileSource is a convenience wrapper over Compile for tests and tools.
 func CompileSource(name, src string, cfg eblock.Config) (*Artifacts, error) {
 	return Compile(source.NewFile(name, src), cfg)
+}
+
+// Vet runs the static-analysis passes over the compiled program and
+// persists the result in the program database: repeated calls (from the
+// CLI, the controller's detector pruning, or the public API) share one
+// computation. sink receives the per-pass "analysis.<pass>" scopes on the
+// run that actually computes.
+func (a *Artifacts) Vet(sink *obs.Sink) *analysis.Result {
+	return a.DB.EnsureVet(func() *analysis.Result {
+		return analysis.Analyze(a.PDG, a.Prog, sink)
+	})
 }
 
 // CompileUnfiltered compiles with the literal-§5.5 shared prelogs (no

@@ -17,7 +17,9 @@ import (
 	"strings"
 	"sync"
 
+	"ppd/internal/analysis"
 	"ppd/internal/ast"
+	"ppd/internal/bitset"
 	"ppd/internal/compile"
 	"ppd/internal/dynpdg"
 	"ppd/internal/emulation"
@@ -71,6 +73,7 @@ type Controller struct {
 	// runs at most once per controller.
 	races     []*race.Race
 	racesDone bool
+	noPrune   bool
 }
 
 // Config tunes a controller. The zero value reproduces the defaults the
@@ -90,6 +93,12 @@ type Config struct {
 	// Obs receives debugging-phase metrics (debug.*, sched.*, race.*).
 	// nil disables observation at the cost of one nil check per query.
 	Obs *obs.Sink
+	// NoStaticPrune disables the static conflict-mask filter in Races():
+	// the detector scans every per-variable bucket, as it did before the
+	// analysis package existed. The race set is identical either way (the
+	// mask over-approximates dynamic conflicts); the switch exists for
+	// ablation and benchmarking.
+	NoStaticPrune bool
 }
 
 // NewWithConfig builds a controller from the compiled artifacts and an
@@ -105,6 +114,7 @@ func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *
 		Log:      pl,
 		Failure:  cfg.Failure,
 		Deadlock: cfg.Deadlock,
+		noPrune:  cfg.NoStaticPrune,
 		cache:    newIntervalLRU(bound),
 	}
 	switch {
@@ -127,6 +137,11 @@ func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *
 		return emulation.New(art.Prog, pl.Books[pid])
 	})
 	c.pgraph = parallel.BuildWithPool(pl, len(art.Prog.Globals), c.pool)
+	names := make([]string, len(art.Prog.Globals))
+	for gid, def := range art.Prog.Globals {
+		names[gid] = def.Name
+	}
+	c.pgraph.VarNames = names
 	sc.End()
 	return c
 }
@@ -182,11 +197,24 @@ func (c *Controller) Emulator(pid int) *emulation.Emulator { return c.emus[pid] 
 // the worker pool, and memoizes the result: the parallel graph is immutable
 // post-run, so the detector runs at most once per controller. The race set
 // is identical to race.Indexed's (the detectors are golden-equivalent).
+//
+// Unless Config.NoStaticPrune is set, the detector is filtered by the
+// static conflict matrix from the program database (computed on first
+// need): buckets of variables no pair of processes can statically
+// conflict on are skipped. The filter cannot change the result — the
+// matrix over-approximates every dynamic conflict — it only removes work.
 func (c *Controller) Races() []*race.Race {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.racesDone {
-		c.races = race.ParallelObs(c.pgraph, c.pool.Workers(), c.obs)
+		var mask *bitset.Set
+		if !c.noPrune {
+			vet := c.Art.DB.EnsureVet(func() *analysis.Result {
+				return analysis.Analyze(c.Art.PDG, c.Art.Prog, c.obs)
+			})
+			mask = vet.Conflicts.Mask()
+		}
+		c.races = race.ParallelMasked(c.pgraph, c.pool.Workers(), mask, c.obs)
 		c.racesDone = true
 	}
 	return c.races

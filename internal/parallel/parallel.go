@@ -61,6 +61,10 @@ type Graph struct {
 	Events []*Event
 	Edges  []*InternalEdge
 
+	// VarNames optionally names each shared variable (indexed by
+	// GlobalID); when set, race reports print names instead of raw IDs.
+	VarNames []string
+
 	// SyncEdges lists (from, to) event pairs (§6.2).
 	SyncEdges [][2]EventID
 

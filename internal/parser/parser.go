@@ -121,7 +121,14 @@ func (p *Parser) parseProgram() {
 			}
 		default:
 			p.errorf(p.cur().Pos, "expected declaration, found %q", p.cur().Lit)
+			before := p.pos
 			p.synchronize()
+			if p.pos == before {
+				// synchronize stops before '}' for statement recovery; at
+				// top level that token can never start a declaration, so
+				// skip it or we would loop forever.
+				p.next()
+			}
 		}
 	}
 }

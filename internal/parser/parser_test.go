@@ -194,6 +194,23 @@ func main() {
 	}
 }
 
+// TestParseStrayTopLevelBrace is a regression test for an infinite loop:
+// synchronize() stops before '}' (statement recovery), but at top level
+// that token never starts a declaration, so parseProgram must skip it.
+func TestParseStrayTopLevelBrace(t *testing.T) {
+	for _, src := range []string{
+		`}`,
+		`} } }`,
+		"func main() { x = ; } }\nfunc tail() { }",
+	} {
+		errs := &source.ErrorList{}
+		ParseString("stray.mpl", src, errs)
+		if errs.ErrCount() == 0 {
+			t.Errorf("%q: expected parse errors", src)
+		}
+	}
+}
+
 func TestParseErrorMessages(t *testing.T) {
 	cases := []struct {
 		src     string

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"ppd/internal/analysis"
 	"ppd/internal/ast"
 	"ppd/internal/eblock"
 	"ppd/internal/pdg"
@@ -47,6 +49,33 @@ type DB struct {
 
 	// vars is keyed by "scope\x00name" (scope empty for globals).
 	vars map[string]*VarSites
+
+	// vet caches the static-analysis result: the paper's program database
+	// stores "the information obtained by semantic analyses of the
+	// program", and the vet diagnostics (with their conflict matrix) are
+	// exactly that for the analysis passes. Computed once on demand.
+	vetMu sync.Mutex
+	vet   *analysis.Result
+}
+
+// EnsureVet returns the cached static-analysis result, computing it with
+// compute on first use. Safe for concurrent callers; compute runs at most
+// once per database.
+func (db *DB) EnsureVet(compute func() *analysis.Result) *analysis.Result {
+	db.vetMu.Lock()
+	defer db.vetMu.Unlock()
+	if db.vet == nil {
+		db.vet = compute()
+	}
+	return db.vet
+}
+
+// Vet returns the persisted static-analysis result, or nil if no analysis
+// has run against this database yet.
+func (db *DB) Vet() *analysis.Result {
+	db.vetMu.Lock()
+	defer db.vetMu.Unlock()
+	return db.vet
 }
 
 // Build assembles the database from the earlier analyses.

@@ -52,12 +52,24 @@ type Race struct {
 	E1, E2 *parallel.InternalEdge
 	Kind   Conflict
 	Vars   []int // GlobalIDs in conflict
+	// Names holds the source names of Vars when the graph carries them
+	// (parallel.Graph.VarNames); reports prefer names over raw IDs.
+	Names []string
+}
+
+// VarNames renders the conflicting variables: source names when known,
+// GlobalIDs otherwise.
+func (r *Race) VarNames() string {
+	if len(r.Names) == len(r.Vars) && len(r.Names) > 0 {
+		return strings.Join(r.Names, ",")
+	}
+	return fmt.Sprintf("%v", r.Vars)
 }
 
 // String renders the race for reports.
 func (r *Race) String() string {
-	return fmt.Sprintf("%s race between P%d edge %d and P%d edge %d on globals %v",
-		r.Kind, r.E1.PID+1, r.E1.ID, r.E2.PID+1, r.E2.ID, r.Vars)
+	return fmt.Sprintf("%s race between P%d edge %d and P%d edge %d on %s",
+		r.Kind, r.E1.PID+1, r.E1.ID, r.E2.PID+1, r.E2.ID, r.VarNames())
 }
 
 // pairKey canonicalizes a race for deduplication: the edge pair in ID
@@ -89,15 +101,25 @@ func checkPair(g *parallel.Graph, e1, e2 *parallel.InternalEdge) []*Race {
 	if e1.ID > e2.ID {
 		e1, e2 = e2, e1
 	}
+	mk := func(kind Conflict, inter *bitset.Set) *Race {
+		r := &Race{E1: e1, E2: e2, Kind: kind, Vars: inter.Elems()}
+		if g.VarNames != nil {
+			r.Names = make([]string, len(r.Vars))
+			for i, v := range r.Vars {
+				r.Names[i] = g.VarNames[v]
+			}
+		}
+		return r
+	}
 	var out []*Race
 	if inter, ok := bitset.Intersection(e1.Writes, e2.Writes); ok {
-		out = append(out, &Race{E1: e1, E2: e2, Kind: WriteWrite, Vars: inter.Elems()})
+		out = append(out, mk(WriteWrite, inter))
 	}
 	if inter, ok := bitset.Intersection(e1.Writes, e2.Reads); ok {
-		out = append(out, &Race{E1: e1, E2: e2, Kind: WriteRead, Vars: inter.Elems()})
+		out = append(out, mk(WriteRead, inter))
 	}
 	if inter, ok := bitset.Intersection(e1.Reads, e2.Writes); ok {
-		out = append(out, &Race{E1: e1, E2: e2, Kind: ReadWrite, Vars: inter.Elems()})
+		out = append(out, mk(ReadWrite, inter))
 	}
 	return out
 }
@@ -141,7 +163,13 @@ func buckets(g *parallel.Graph) (readers, writers [][]*parallel.InternalEdge) {
 // by dedup — cheaper than tracking visited pairs in a map. pairs counts
 // candidate pairs tested (a plain local counter; the caller folds it into
 // its sink only when observation is enabled).
-func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo, hi int, pairs *int64) []*Race {
+// mask, when non-nil, is the static conflict mask: buckets of variables
+// outside it are skipped entirely (pruned counts them). Soundness: the
+// mask over-approximates every variable two processes can conflict on, so
+// a skipped bucket can contain no racing pair — any race discoverable via
+// a pruned variable conflicts on that variable, which would have put it
+// in the mask.
+func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo, hi int, mask *bitset.Set, pairs, pruned *int64) []*Race {
 	var out []*Race
 	tryPair := func(e1, e2 *parallel.InternalEdge) {
 		if e1.PID == e2.PID {
@@ -154,6 +182,12 @@ func scanVars(g *parallel.Graph, readers, writers [][]*parallel.InternalEdge, lo
 		out = append(out, checkPair(g, e1, e2)...)
 	}
 	for v := lo; v < hi; v++ {
+		if mask != nil && !mask.Has(v) {
+			if len(writers[v]) > 0 || len(readers[v]) > 0 {
+				*pruned++
+			}
+			continue
+		}
 		// write/write and write/read candidates.
 		for i, w := range writers[v] {
 			for _, w2 := range writers[v][i+1:] {
@@ -177,20 +211,31 @@ func Indexed(g *parallel.Graph) []*Race { return IndexedObs(g, nil) }
 // pairs tested ("race.pairs"), races found ("race.races"), and detection
 // time (the "debug.race" scope). A nil sink disables observation.
 func IndexedObs(g *parallel.Graph, sink *obs.Sink) []*Race {
+	return IndexedMasked(g, nil, sink)
+}
+
+// IndexedMasked is Indexed with an optional static conflict filter: when
+// mask is non-nil, per-variable buckets outside it are skipped without
+// scanning ("race.buckets.pruned" counts them). The mask must
+// over-approximate the statically-possible conflicts (analysis.
+// ConflictMatrix.Mask does); the result is then identical to the
+// unfiltered detector's. A nil mask scans everything.
+func IndexedMasked(g *parallel.Graph, mask *bitset.Set, sink *obs.Sink) []*Race {
 	sc := sink.Scope("debug.race")
 	defer sc.End()
 	readers, writers := buckets(g)
-	var pairs int64
-	out := dedup(scanVars(g, readers, writers, 0, g.NumShared(), &pairs))
-	record(sink, pairs, len(out))
+	var pairs, pruned int64
+	out := dedup(scanVars(g, readers, writers, 0, g.NumShared(), mask, &pairs, &pruned))
+	record(sink, pairs, pruned, len(out))
 	return out
 }
 
 // chunkScan is one worker's share of a sharded scan: the races plus the
 // pair count of a contiguous variable range.
 type chunkScan struct {
-	races []*Race
-	pairs int64
+	races  []*Race
+	pairs  int64
+	pruned int64
 }
 
 // Parallel is Indexed with the per-variable buckets sharded across a
@@ -209,33 +254,43 @@ func Parallel(g *parallel.Graph, workers int) []*Race {
 // folded into the sink once after the merge, so the hot scan never
 // touches an atomic. A nil sink disables observation.
 func ParallelObs(g *parallel.Graph, workers int, sink *obs.Sink) []*Race {
+	return ParallelMasked(g, workers, nil, sink)
+}
+
+// ParallelMasked is Parallel with the same optional static conflict
+// filter as IndexedMasked; pruning happens inside each worker's variable
+// range, so the sharding (and therefore the merged, deduped result) is
+// unchanged.
+func ParallelMasked(g *parallel.Graph, workers int, mask *bitset.Set, sink *obs.Sink) []*Race {
 	sc := sink.Scope("debug.race")
 	defer sc.End()
 	readers, writers := buckets(g)
 	parts := sched.ChunkMap(sched.NewObs(workers, sink), g.NumShared(),
 		func(lo, hi int) chunkScan {
 			var cs chunkScan
-			cs.races = scanVars(g, readers, writers, lo, hi, &cs.pairs)
+			cs.races = scanVars(g, readers, writers, lo, hi, mask, &cs.pairs, &cs.pruned)
 			return cs
 		})
 	var all []*Race
-	var pairs int64
+	var pairs, pruned int64
 	for _, part := range parts {
 		all = append(all, part.races...)
 		pairs += part.pairs
+		pruned += part.pruned
 	}
 	out := dedup(all)
-	record(sink, pairs, len(out))
+	record(sink, pairs, pruned, len(out))
 	return out
 }
 
 // record folds one detection run's tallies into the sink.
-func record(sink *obs.Sink, pairs int64, races int) {
+func record(sink *obs.Sink, pairs, pruned int64, races int) {
 	if sink == nil {
 		return
 	}
 	sink.Counter("race.pairs").Add(pairs)
 	sink.Counter("race.races").Add(int64(races))
+	sink.Counter("race.buckets.pruned").Add(pruned)
 	sink.Counter("race.runs").Inc()
 }
 
@@ -274,13 +329,17 @@ func Report(races []*Race, globalName func(int) string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d race(s) detected:\n", len(races))
 	for _, r := range races {
-		names := make([]string, len(r.Vars))
-		for i, v := range r.Vars {
-			names[i] = globalName(v)
+		joined := r.VarNames()
+		if globalName != nil {
+			names := make([]string, len(r.Vars))
+			for i, v := range r.Vars {
+				names[i] = globalName(v)
+			}
+			joined = strings.Join(names, ",")
 		}
 		fmt.Fprintf(&sb, "  %s race: P%d [events %d..%d] vs P%d [events %d..%d] on %s\n",
 			r.Kind, r.E1.PID+1, r.E1.Start, r.E1.End,
-			r.E2.PID+1, r.E2.Start, r.E2.End, strings.Join(names, ","))
+			r.E2.PID+1, r.E2.Start, r.E2.End, joined)
 	}
 	return sb.String()
 }

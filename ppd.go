@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 
+	"ppd/internal/analysis"
 	"ppd/internal/ast"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
@@ -75,6 +76,10 @@ type (
 	Stats = obs.Snapshot
 	// TimerStat is the read-out of one duration histogram inside Stats.
 	TimerStat = obs.TimerStat
+	// VetResult is the outcome of the static-analysis passes (`ppd vet`).
+	VetResult = analysis.Result
+	// Diagnostic is one static-analysis finding with its source position.
+	Diagnostic = analysis.Diagnostic
 )
 
 // Options configures an execution.
@@ -161,6 +166,15 @@ func (p *Program) CompileStats() *Stats { return p.sink.Snapshot() }
 // Artifacts exposes the preparatory-phase outputs for advanced use (static
 // PDG, program database, e-block plan, bytecode).
 func (p *Program) Artifacts() *compile.Artifacts { return p.art }
+
+// Vet runs the static-analysis passes (race candidates, synchronization
+// lints, uninitialized shared reads, dead stores) over the compiled
+// artifacts and persists the result in the program database: repeated
+// calls return the same *VetResult without re-analysis. The debugging
+// phase reuses the result's conflict matrix to prune race detection.
+func (p *Program) Vet() *VetResult {
+	return p.art.Vet(p.sink)
+}
 
 // Run executes without instrumentation actions and returns the run error
 // (nil, a runtime failure, or a deadlock).

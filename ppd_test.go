@@ -431,3 +431,27 @@ func main() { spawn w(); spawn w(); P(done); P(done); print(counter); }`)
 		t.Error("re-persisted log differs from the original")
 	}
 }
+
+func TestFacadeVet(t *testing.T) {
+	prog, err := Compile("racy.mpl", `
+shared counter;
+sem done = 0;
+func w() { counter = counter + 1; V(done); }
+func main() { spawn w(); spawn w(); P(done); P(done); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Vet()
+	if res == nil || res.Clean() {
+		t.Fatalf("expected diagnostics on the racy counter, got %+v", res)
+	}
+	if !strings.Contains(res.Text(), "[race-candidate]") {
+		t.Errorf("vet text missing race candidate:\n%s", res.Text())
+	}
+	if prog.Vet() != res {
+		t.Error("Vet must memoize via the program database")
+	}
+	if !res.Conflicts.MayConflict(0) {
+		t.Errorf("counter must be a conflict candidate: %s", res.Conflicts)
+	}
+}
