@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check
 
 all: build
 
@@ -55,7 +55,7 @@ vet-mpl: build
 	fi
 	@echo "vet-mpl: OK"
 
-ci: check cover bench-smoke vet-mpl
+ci: check cover bench-smoke vet-mpl cache-check
 	@echo "ci: OK"
 
 bench:
@@ -81,3 +81,17 @@ execlog: build
 # Regenerate the E16 static-pruning table (writes BENCH_analysis.json).
 vetprune: build
 	$(GO) run ./cmd/ppdbench vetprune
+
+# Regenerate the E17 compile-cache table (writes BENCH_compile.json).
+compilecache: build
+	$(GO) run ./cmd/ppdbench compilecache
+
+# Cache correctness gate: a warm cached compile must be observationally
+# identical to a fresh one (execution log bytes, program output, vet
+# diagnostics, race reports), the parallel pipeline byte-identical to the
+# sequential one, and the codec a lossless fixed point.
+cache-check:
+	$(GO) test -run 'TestCacheColdWarmIdentical|TestCacheWarmDebugging|TestCacheEnvVar' .
+	$(GO) test -run 'TestParallelByteIdentical|TestCompileCachedColdWarm' ./internal/compile/
+	$(GO) test -run 'TestCodec|TestCache' ./internal/progdb/
+	@echo "cache-check: OK"

@@ -18,6 +18,7 @@ import (
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/replay"
+	"ppd/internal/source"
 	"ppd/internal/vm"
 	"ppd/internal/workloads"
 )
@@ -314,6 +315,69 @@ func BenchmarkObsOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if rs := race.ParallelObs(g, 4, sink); len(rs) != 0 {
 				b.Fatal("sharded workload should be race-free")
+			}
+		}
+	})
+}
+
+// --- E17: parallel preparatory phase + persistent artifact cache ------------
+
+// BenchmarkCompileParallel measures the cold preparatory phase at each
+// fan-out width on the widest workload (Sharded generates one function per
+// worker, so the per-function passes dominate). sequential is the E17
+// baseline; on a multi-core machine workers>=4 should show the >=2x cold
+// speedup the acceptance criteria ask for.
+func BenchmarkCompileParallel(b *testing.B) {
+	w := workloads.Sharded(64, 4)
+	cfg := eblock.DefaultConfig()
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := compile.CompileSequential(source.NewFile(w.Name, w.Src), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := compile.CompileWorkers(source.NewFile(w.Name, w.Src), cfg, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCached contrasts a cold compile (full pipeline + store)
+// with a warm one (content-hash lookup, decode, done). Warm should beat
+// cold by >=10x on the wide workload.
+func BenchmarkCompileCached(b *testing.B) {
+	w := workloads.Sharded(64, 4)
+	cfg := eblock.DefaultConfig()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := compile.CompileWorkers(source.NewFile(w.Name, w.Src), cfg, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		if _, err := compile.CompileCached(source.NewFile(w.Name, w.Src), cfg, dir, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			art, err := compile.CompileCached(source.NewFile(w.Name, w.Src), cfg, dir, 0, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if art.Hydrated() {
+				b.Fatal("warm compile ran the pipeline")
 			}
 		}
 	})

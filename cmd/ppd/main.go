@@ -26,6 +26,7 @@ import (
 	"ppd/internal/controller"
 	"ppd/internal/debugger"
 	"ppd/internal/eblock"
+	"ppd/internal/obs"
 	"ppd/internal/parallel"
 	"ppd/internal/race"
 	"ppd/internal/source"
@@ -71,6 +72,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: ppd <command> [flags] file.mpl
 commands:
   compile   run the preparatory phase and summarize its artifacts
+            (flags: -cache-dir DIR -workers N)
   dump      print the program database, e-block plan, and bytecode
   run       execute the program (flags: -seed -quantum -mode run|log|trace)
   debug     execute logged, then start the interactive flowback debugger
@@ -78,7 +80,7 @@ commands:
   vet       static analysis: race candidates, sync lints, uninitialized
             reads, dead stores (flags: -json -strict -timings)
   stats     run all three phases and print the observability snapshot
-            (flags: -seed -quantum -json -trace)
+            (flags: -seed -quantum -json -trace -cache-dir DIR)
 `)
 }
 
@@ -100,12 +102,25 @@ func compileFile(path string) (*compile.Artifacts, error) {
 
 func cmdCompile(args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", os.Getenv("PPD_CACHE_DIR"),
+		"persistent artifact cache directory (empty disables; default $PPD_CACHE_DIR)")
+	workers := fs.Int("workers", 0, "pipeline fan-out width (0 = GOMAXPROCS, 1 = sequential)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("compile: need one source file")
 	}
-	art, err := compileFile(fs.Arg(0))
+	f, err := loadFile(fs.Arg(0))
 	if err != nil {
+		return err
+	}
+	sink := obs.New()
+	art, err := compile.CompileCached(f, eblock.DefaultConfig(), *cacheDir, *workers, sink)
+	if err != nil {
+		return err
+	}
+	// A cache hit returns a shallow artifact; the summary below needs the
+	// e-block plan, so rebuild the semantic layers (codegen is skipped).
+	if err := art.Hydrate(); err != nil {
 		return err
 	}
 	fmt.Printf("compiled %s:\n", fs.Arg(0))
@@ -118,6 +133,13 @@ func cmdCompile(args []string) error {
 		units += len(f.Units)
 	}
 	fmt.Printf("  shared-prelog sites: %d\n", units)
+	if *cacheDir != "" {
+		snap := sink.Snapshot()
+		fmt.Printf("  cache: %d hit(s), %d miss(es), %d byte(s)\n",
+			snap.Counters["compile.cache.hits"],
+			snap.Counters["compile.cache.misses"],
+			snap.Counters["compile.cache.bytes"])
+	}
 	return nil
 }
 
@@ -217,6 +239,8 @@ func cmdStats(args []string) error {
 	seed, quantum := vmFlags(fs)
 	jsonOut := fs.Bool("json", false, "emit the snapshot as JSON")
 	trace := fs.Bool("trace", false, "stream phase-scope events to stderr")
+	cacheDir := fs.String("cache-dir", os.Getenv("PPD_CACHE_DIR"),
+		"persistent artifact cache directory (empty disables; default $PPD_CACHE_DIR)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("stats: need one source file")
@@ -225,7 +249,8 @@ func cmdStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	prog, err := ppd.Compile(fs.Arg(0), string(data))
+	prog, err := ppd.CompileOpts(fs.Arg(0), string(data), eblock.DefaultConfig(),
+		ppd.Options{CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ppd/internal/analysis"
+	"ppd/internal/obs"
+)
+
+// cmdVet runs only the preparatory phase plus the static-analysis passes:
+// no execution, no logs. With -strict, any warning (or error) makes the
+// process exit 1 — the contract `make vet-mpl` and CI rely on.
+func cmdVet(args []string) error {
+	strictFailed, err := runVet(args, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if strictFailed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runVet is cmdVet without the exit, for tests: it reports whether a
+// -strict run found warnings.
+func runVet(args []string, w io.Writer) (strictFailed bool, err error) {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	strict := fs.Bool("strict", false, "exit non-zero when any warning is reported")
+	timings := fs.Bool("timings", false, "print per-pass timings after the diagnostics")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return false, fmt.Errorf("vet: need one source file")
+	}
+	art, err := compileFile(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	sink := obs.New()
+	res := art.Vet(sink)
+	if *jsonOut {
+		data, jerr := res.JSON()
+		if jerr != nil {
+			return false, jerr
+		}
+		fmt.Fprintf(w, "%s\n", data)
+	} else {
+		fmt.Fprint(w, res.Text())
+	}
+	if *timings && !*jsonOut {
+		snap := sink.Snapshot()
+		for _, pass := range analysis.PassNames() {
+			if ts, ok := snap.Timers["analysis."+pass]; ok {
+				fmt.Fprintf(w, "pass %-10s %v\n", pass, ts.Total())
+			}
+		}
+		if ts, ok := snap.Timers["analysis.total"]; ok {
+			fmt.Fprintf(w, "pass %-10s %v\n", "total", ts.Total())
+		}
+	}
+	warnings, _ := res.Counts()
+	return *strict && warnings > 0, nil
+}

@@ -16,6 +16,8 @@
 //	                      streamed sink (also writes BENCH_exec.json)
 //	ppdbench vetprune     E16 static conflict pruning of race detection
 //	                      (also writes BENCH_analysis.json)
+//	ppdbench compilecache E17 parallel preparatory phase + persistent
+//	                      artifact cache (also writes BENCH_compile.json)
 //	ppdbench all          everything
 package main
 
@@ -70,6 +72,7 @@ func main() {
 	run("obsoverhead", obsOverhead)
 	run("execlog", execlog)
 	run("vetprune", vetprune)
+	run("compilecache", compilecache)
 }
 
 // timeRun executes the program under the given mode and returns the best-
@@ -669,4 +672,110 @@ func vetprune(w io.Writer) {
 		panic(err)
 	}
 	fmt.Fprintln(w, "wrote BENCH_analysis.json")
+}
+
+// compilecache is E17: the preparatory phase after the parallel pass DAG
+// and the persistent artifact cache. For each workload it times the
+// sequential pipeline, the parallel pipeline (shared pool width), a cold
+// cached compile (fresh directory per rep: full pipeline + vet + store),
+// and a warm cached compile (decode only, no hydration). Parallel speedup
+// is bounded by the machine — the reported gomaxprocs is part of the
+// record, and on a single-CPU box sequential ≈ parallel is the honest
+// result. Warm-over-cold is hardware-independent. Writes
+// BENCH_compile.json.
+func compilecache(w io.Writer) {
+	fmt.Fprintln(w, "=== E17: parallel preparatory phase + persistent artifact cache ===")
+	fmt.Fprintf(w, "pool=%d worker(s), GOMAXPROCS=%d\n\n",
+		sched.Shared().Workers(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-14s %12s %12s %8s %12s %12s %9s %8s\n",
+		"workload", "sequential", "parallel", "par-spd", "cold", "warm", "warm-spd", "bytes")
+
+	type row struct {
+		Workload        string  `json:"workload"`
+		Gomaxprocs      int     `json:"gomaxprocs"`
+		PoolWorkers     int     `json:"pool_workers"`
+		SequentialNs    int64   `json:"sequential_ns"`
+		ParallelNs      int64   `json:"parallel_ns"`
+		ParallelSpeedup float64 `json:"parallel_speedup"`
+		ColdNs          int64   `json:"cold_ns"`
+		WarmNs          int64   `json:"warm_ns"`
+		WarmSpeedup     float64 `json:"warm_speedup"`
+		CacheBytes      int64   `json:"cache_bytes"`
+	}
+	var rows []row
+	cfg := eblock.DefaultConfig()
+	for _, wl := range []*workloads.Workload{
+		workloads.Matmul(16),
+		workloads.Sharded(16, 4),
+		workloads.Sharded(64, 4),
+	} {
+		tSeq := bestOf(reps, func() {
+			if _, err := compile.CompileSequential(source.NewFile(wl.Name, wl.Src), cfg); err != nil {
+				panic(err)
+			}
+		})
+		tPar := bestOf(reps, func() {
+			if _, err := compile.CompileWorkers(source.NewFile(wl.Name, wl.Src), cfg, 0, nil); err != nil {
+				panic(err)
+			}
+		})
+
+		root, err := os.MkdirTemp("", "ppdbench-cache")
+		if err != nil {
+			panic(err)
+		}
+		// Cold: a fresh directory every rep, so each one pays the whole
+		// pipeline plus vet plus the store.
+		tCold := bestOf(reps, func() {
+			dir, err := os.MkdirTemp(root, "cold")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := compile.CompileCached(source.NewFile(wl.Name, wl.Src), cfg, dir, 0, nil); err != nil {
+				panic(err)
+			}
+		})
+		// Warm: prime once, then every rep is a pure decode.
+		warmDir := root
+		if _, err := compile.CompileCached(source.NewFile(wl.Name, wl.Src), cfg, warmDir, 0, nil); err != nil {
+			panic(err)
+		}
+		var cacheBytes int64
+		tWarm := bestOf(reps, func() {
+			sink := obs.New()
+			art, err := compile.CompileCached(source.NewFile(wl.Name, wl.Src), cfg, warmDir, 0, sink)
+			if err != nil {
+				panic(err)
+			}
+			snap := sink.Snapshot()
+			if snap.Counters["compile.cache.hits"] != 1 || art.Hydrated() {
+				panic("warm compile was not a shallow cache hit on " + wl.Name)
+			}
+			cacheBytes = snap.Counters["compile.cache.bytes"]
+		})
+		if err := os.RemoveAll(root); err != nil {
+			panic(err)
+		}
+
+		r := row{
+			Workload: wl.Name, Gomaxprocs: runtime.GOMAXPROCS(0),
+			PoolWorkers:  sched.Shared().Workers(),
+			SequentialNs: tSeq.Nanoseconds(), ParallelNs: tPar.Nanoseconds(),
+			ParallelSpeedup: float64(tSeq) / float64(tPar),
+			ColdNs:          tCold.Nanoseconds(), WarmNs: tWarm.Nanoseconds(),
+			WarmSpeedup: float64(tCold) / float64(tWarm),
+			CacheBytes:  cacheBytes,
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(w, "%-14s %12v %12v %7.2fx %12v %12v %8.1fx %8d\n",
+			wl.Name, tSeq, tPar, r.ParallelSpeedup, tCold, tWarm, r.WarmSpeedup, r.CacheBytes)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_compile.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_compile.json")
 }

@@ -6,20 +6,28 @@
 package compile
 
 import (
+	"sync"
+
 	"ppd/internal/analysis"
 	"ppd/internal/ast"
 	"ppd/internal/bytecode"
 	"ppd/internal/eblock"
+	"ppd/internal/interproc"
 	"ppd/internal/obs"
 	"ppd/internal/parser"
 	"ppd/internal/pdg"
 	"ppd/internal/progdb"
+	"ppd/internal/sched"
 	"ppd/internal/sem"
 	"ppd/internal/source"
 	"ppd/internal/token"
 )
 
-// Artifacts is everything the preparatory phase produces.
+// Artifacts is everything the preparatory phase produces. An artifact
+// loaded from the persistent cache starts shallow — File, Prog, and the
+// persisted vet result only; Info/PDG/Plan/DB are nil until Hydrate —
+// because the execution phase needs nothing but the bytecode, and the
+// semantic layers are cheap to rebuild on the first debugging-phase query.
 type Artifacts struct {
 	File *source.File
 	Prog *bytecode.Program
@@ -27,10 +35,49 @@ type Artifacts struct {
 	PDG  *pdg.Program
 	Plan *eblock.Plan
 	DB   *progdb.DB
+
+	cfg    eblock.Config    // for Hydrate
+	preVet *analysis.Result // vet result restored from the cache
+
+	hydrateOnce sync.Once
+	hydrateErr  error
 }
+
+// Hydrate ensures the semantic layers (Info, PDG, Plan, DB) are present,
+// rebuilding them from source for cache-loaded artifacts. It is a no-op on
+// artifacts from a full compile. The rebuild runs the front-end passes
+// only — codegen is skipped since Prog came from the cache — and seeds the
+// database's vet slot with the persisted result so no analysis pass reruns.
+func (a *Artifacts) Hydrate() error {
+	a.hydrateOnce.Do(func() {
+		if a.DB != nil {
+			return
+		}
+		full, err := compilePipeline(a.File, a.cfg, pipelineOpts{
+			crossWriteFilter: true,
+			pool:             poolFor(0, nil),
+			skipCodegen:      true,
+		})
+		if err != nil {
+			a.hydrateErr = err
+			return
+		}
+		a.Info, a.PDG, a.Plan, a.DB = full.Info, full.PDG, full.Plan, full.DB
+		if a.preVet != nil {
+			pre := a.preVet
+			a.DB.EnsureVet(func() *analysis.Result { return pre })
+		}
+	})
+	return a.hydrateErr
+}
+
+// Hydrated reports whether the semantic layers are available.
+func (a *Artifacts) Hydrated() bool { return a.DB != nil }
 
 // Compile runs parse → check → static analysis → e-block planning →
 // code generation. On front-end errors it returns the error list's error.
+// The per-function passes fan out across the shared worker pool; the
+// output is byte-identical to CompileSequential.
 func Compile(file *source.File, cfg eblock.Config) (*Artifacts, error) {
 	return CompileWithObs(file, cfg, nil)
 }
@@ -41,7 +88,35 @@ func Compile(file *source.File, cfg eblock.Config) (*Artifacts, error) {
 // dependences, e-blocks, shared-prelog sites). A nil sink disables
 // observation.
 func CompileWithObs(file *source.File, cfg eblock.Config, sink *obs.Sink) (*Artifacts, error) {
-	return compilePipeline(file, cfg, pipelineOpts{crossWriteFilter: true, sink: sink})
+	return compilePipeline(file, cfg, pipelineOpts{crossWriteFilter: true, sink: sink, pool: poolFor(0, sink)})
+}
+
+// CompileSequential runs the identical pipeline with every pass on the
+// calling goroutine — the byte-identity baseline for the parallel pipeline
+// and the `cold sequential` bar of E17.
+func CompileSequential(file *source.File, cfg eblock.Config) (*Artifacts, error) {
+	return compilePipeline(file, cfg, pipelineOpts{crossWriteFilter: true})
+}
+
+// CompileWorkers is Compile with an explicit per-function fan-out width:
+// workers == 1 compiles sequentially, workers <= 0 uses the shared
+// GOMAXPROCS pool, anything else gets a dedicated pool of that size.
+func CompileWorkers(file *source.File, cfg eblock.Config, workers int, sink *obs.Sink) (*Artifacts, error) {
+	return compilePipeline(file, cfg, pipelineOpts{crossWriteFilter: true, sink: sink, pool: poolFor(workers, sink)})
+}
+
+// poolFor maps a workers knob to a sched pool: 1 means sequential (nil
+// pool), <= 0 the shared GOMAXPROCS pool (or an observed pool of the same
+// width when a sink wants sched.* metrics), else a dedicated pool.
+func poolFor(workers int, sink *obs.Sink) *sched.Pool {
+	switch {
+	case workers == 1:
+		return nil
+	case workers <= 0 && sink == nil:
+		return sched.Shared()
+	default:
+		return sched.NewObs(workers, sink)
+	}
 }
 
 // CompileSource is a convenience wrapper over Compile for tests and tools.
@@ -55,15 +130,65 @@ func CompileSource(name, src string, cfg eblock.Config) (*Artifacts, error) {
 // computation. sink receives the per-pass "analysis.<pass>" scopes on the
 // run that actually computes.
 func (a *Artifacts) Vet(sink *obs.Sink) *analysis.Result {
+	if a.preVet != nil {
+		// Cache-loaded artifacts carry the persisted result; no pass reruns
+		// even before hydration.
+		return a.preVet
+	}
 	return a.DB.EnsureVet(func() *analysis.Result {
 		return analysis.Analyze(a.PDG, a.Prog, sink)
 	})
 }
 
+// CompileCached is CompileWorkers backed by a persistent artifact cache in
+// cacheDir (no caching when empty). The key is a content hash over the
+// source bytes, the e-block config, and the codec version, so any change
+// to either input or format misses cleanly. On a hit the whole pipeline is
+// skipped and a shallow artifact (bytecode + persisted vet) is returned —
+// call Hydrate before debugging-phase queries. On a miss the program is
+// compiled, vetted, and stored. sink receives compile.cache.{hits,misses,
+// bytes} counters alongside the usual pipeline metrics.
+func CompileCached(file *source.File, cfg eblock.Config, cacheDir string, workers int, sink *obs.Sink) (*Artifacts, error) {
+	if cacheDir == "" {
+		return CompileWorkers(file, cfg, workers, sink)
+	}
+	cache := &progdb.Cache{Dir: cacheDir}
+	key := progdb.CacheKey(file.Name, file.Content, cfg)
+	if cp, size, err := cache.Load(key); err == nil && cp != nil {
+		if sink != nil {
+			sink.Counter("compile.cache.hits").Add(1)
+			sink.Counter("compile.cache.bytes").Add(int64(size))
+		}
+		return &Artifacts{File: file, Prog: cp.Prog, cfg: cfg, preVet: cp.Vet}, nil
+	}
+	art, err := CompileWorkers(file, cfg, workers, sink)
+	if err != nil {
+		return nil, err
+	}
+	// Vet eagerly so the cached entry always carries the analysis result:
+	// a warm run must answer vet queries without rerunning any pass.
+	vet := art.Vet(sink)
+	size, err := cache.Store(key, &progdb.CachedProgram{
+		SourceName: file.Name,
+		Source:     file.Content,
+		Config:     cfg,
+		Prog:       art.Prog,
+		Vet:        vet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		sink.Counter("compile.cache.misses").Add(1)
+		sink.Counter("compile.cache.bytes").Add(int64(size))
+	}
+	return art, nil
+}
+
 // CompileUnfiltered compiles with the literal-§5.5 shared prelogs (no
 // cross-write filtering) — the baseline of the shared-prelog ablation.
 func CompileUnfiltered(file *source.File, cfg eblock.Config) (*Artifacts, error) {
-	return compilePipeline(file, cfg, pipelineOpts{})
+	return compilePipeline(file, cfg, pipelineOpts{pool: poolFor(0, nil)})
 }
 
 // CompileBare compiles without any instrumentation markers: no prelog,
@@ -72,7 +197,7 @@ func CompileUnfiltered(file *source.File, cfg eblock.Config) (*Artifacts, error)
 // comparing against ModeRun over instrumented code would hide the marker
 // dispatch cost.
 func CompileBare(file *source.File) (*Artifacts, error) {
-	return compilePipeline(file, eblock.Config{}, pipelineOpts{crossWriteFilter: true, noInstr: true})
+	return compilePipeline(file, eblock.Config{}, pipelineOpts{crossWriteFilter: true, noInstr: true, pool: poolFor(0, nil)})
 }
 
 // pipelineOpts selects the pipeline variant; the passes themselves are
@@ -80,9 +205,18 @@ func CompileBare(file *source.File) (*Artifacts, error) {
 type pipelineOpts struct {
 	crossWriteFilter bool
 	noInstr          bool
+	skipCodegen      bool // Hydrate: bytecode already loaded from the cache
 	sink             *obs.Sink
+	pool             *sched.Pool // nil: run every pass sequentially
 }
 
+// compilePipeline is the preparatory phase's pass DAG. The global stages —
+// parsing, checking, the interprocedural MOD/REF fixpoint, e-block
+// numbering — run sequentially in dependency order; the per-function
+// stages (direct dataflow inside interproc, PDG construction, database
+// indexing, code generation) fan out across po.pool with deterministic
+// index-order merges, so the artifacts are byte-identical to a nil-pool
+// run.
 func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Artifacts, error) {
 	total := po.sink.Scope("compile.total")
 	defer total.End()
@@ -101,8 +235,12 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 		return nil, err
 	}
 
+	sc = pass("interproc")
+	inter := interproc.AnalyzeWith(info, po.pool)
+	sc.End()
+
 	sc = pass("pdg")
-	p := pdg.BuildWithFilter(info, po.crossWriteFilter)
+	p := pdg.BuildFromInter(inter, po.crossWriteFilter, po.pool)
 	sc.End()
 
 	sc = pass("eblock")
@@ -110,8 +248,12 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 	sc.End()
 
 	sc = pass("progdb")
-	db := progdb.Build(p, plan)
+	db := progdb.BuildWith(p, plan, po.pool)
 	sc.End()
+
+	if po.skipCodegen {
+		return &Artifacts{File: file, Info: info, PDG: p, Plan: plan, DB: db, cfg: cfg}, nil
+	}
 
 	sc = pass("codegen")
 	c := &compiler{
@@ -124,12 +266,12 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 			MainIdx: -1,
 		},
 	}
-	err := c.run()
+	err := c.run(po.pool)
 	sc.End()
 	if err != nil {
 		return nil, err
 	}
-	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db}
+	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db, cfg: cfg}
 	foldArtifactSizes(po.sink, art)
 	return art, nil
 }
@@ -175,7 +317,7 @@ type compiler struct {
 	strIdx map[string]int
 }
 
-func (c *compiler) run() error {
+func (c *compiler) run(pool *sched.Pool) error {
 	c.strIdx = make(map[string]int)
 
 	// Globals.
@@ -276,16 +418,68 @@ func (c *compiler) run() error {
 		c.out.Blocks = append(c.out.Blocks, meta)
 	}
 
-	// Code generation.
-	for i, fn := range c.info.FuncList {
+	// Code generation: each function body lowers independently. String
+	// literals intern into a per-function table first (OpPrintStr operands
+	// are local indices during this stage); the sequential merge below
+	// re-interns them into the program table in function order, which is
+	// exactly the order the sequential pipeline would have encountered them
+	// at emit time — so the program's string table and every rewritten
+	// operand are byte-identical to a sequential compile.
+	locals := make([]localStrings, len(c.info.FuncList))
+	genFunc := func(i int) {
 		fc := &fnCompiler{
-			c:  c,
-			fn: fn,
-			f:  c.out.Funcs[i],
+			c:    c,
+			fn:   c.info.FuncList[i],
+			f:    c.out.Funcs[i],
+			strs: &locals[i],
 		}
 		fc.compile()
 	}
+	if pool == nil {
+		for i := range c.info.FuncList {
+			genFunc(i)
+		}
+	} else {
+		pool.ForEach(len(c.info.FuncList), genFunc)
+	}
+
+	// Deterministic string-table merge + operand rewrite.
+	for i, f := range c.out.Funcs {
+		ls := &locals[i]
+		if len(ls.strs) == 0 {
+			continue
+		}
+		remap := make([]int, len(ls.strs))
+		for j, s := range ls.strs {
+			remap[j] = c.internString(s)
+		}
+		for pc := range f.Code {
+			if f.Code[pc].Op == bytecode.OpPrintStr {
+				f.Code[pc].A = remap[f.Code[pc].A]
+			}
+		}
+	}
 	return nil
+}
+
+// localStrings is one function's private string-literal table, merged into
+// the program table after parallel code generation.
+type localStrings struct {
+	strs []string
+	idx  map[string]int
+}
+
+func (ls *localStrings) intern(s string) int {
+	if i, ok := ls.idx[s]; ok {
+		return i
+	}
+	if ls.idx == nil {
+		ls.idx = make(map[string]int)
+	}
+	i := len(ls.strs)
+	ls.strs = append(ls.strs, s)
+	ls.idx[s] = i
+	return i
 }
 
 func (c *compiler) internString(s string) int {
@@ -351,11 +545,14 @@ func constEval(e ast.Expr) (int64, bool) {
 	return 0, false
 }
 
-// fnCompiler generates code for one function.
+// fnCompiler generates code for one function. It writes only to f, strs,
+// and the BlockMeta entries of this function's own loops, so distinct
+// functions compile concurrently.
 type fnCompiler struct {
-	c  *compiler
-	fn *sem.FuncInfo
-	f  *bytecode.Func
+	c    *compiler
+	fn   *sem.FuncInfo
+	f    *bytecode.Func
+	strs *localStrings
 
 	curStmt ast.StmtID
 
@@ -596,7 +793,7 @@ func (fc *fnCompiler) stmt(s ast.Stmt) {
 	case *ast.PrintStmt:
 		for _, a := range s.Args {
 			if str, ok := a.(*ast.StringLit); ok {
-				fc.emit(bytecode.OpPrintStr, fc.c.internString(str.Value), 0)
+				fc.emit(bytecode.OpPrintStr, fc.strs.intern(str.Value), 0)
 				continue
 			}
 			fc.expr(a)

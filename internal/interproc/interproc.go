@@ -13,6 +13,7 @@ import (
 	"ppd/internal/ast"
 	"ppd/internal/bitset"
 	"ppd/internal/dataflow"
+	"ppd/internal/sched"
 	"ppd/internal/sem"
 )
 
@@ -79,88 +80,122 @@ func (r *Result) Effects() dataflow.CallEffects {
 // Analyze computes summaries for every function with a fixpoint over the
 // call graph (sound for recursion and mutual recursion).
 func Analyze(info *sem.Info) *Result {
+	return AnalyzeWith(info, nil)
+}
+
+// funcFacts is one function's pass-1 output: the per-function direct facts
+// are independent of every other function, so AnalyzeWith can compute them
+// in parallel and merge in FuncList order.
+type funcFacts struct {
+	space *dataflow.Space
+	uds   map[ast.StmtID]*dataflow.UseDef
+	sum   *FuncSummary
+}
+
+// directFacts computes pass 1 (local dataflow, call-graph edges, sync
+// markers) for one function. It reads only the AST and the checker's
+// read-only symbol tables, never another function's facts.
+func directFacts(info *sem.Info, fn *sem.FuncInfo) funcFacts {
+	nGlobals := info.NumGlobals()
+	space := dataflow.NewSpace(info, fn)
+	uds := dataflow.ComputeUseDef(space)
+
+	s := &FuncSummary{
+		Fn:            fn,
+		DirectUsed:    bitset.New(nGlobals),
+		DirectDefined: bitset.New(nGlobals),
+		SpawnedOnly:   make(map[string]bool),
+	}
+	for _, ud := range uds {
+		s.DirectUsed.UnionWith(space.GlobalsOnly(ud.Use))
+		s.DirectDefined.UnionWith(space.GlobalsOnly(ud.Def))
+	}
+
+	seen := make(map[string]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case ast.Stmt:
+			if _, isBlock := n.(*ast.BlockStmt); !isBlock {
+				s.NumStmts++
+			}
+			switch st := n.(type) {
+			case *ast.SemStmt, *ast.SendStmt:
+				s.UsesSync = true
+			case *ast.SpawnStmt:
+				s.UsesSync = true
+				name := st.Call.Fun.Name
+				if !seen[name] {
+					seen[name] = true
+					s.Callees = append(s.Callees, name)
+				}
+			}
+		case *ast.RecvExpr:
+			s.UsesSync = true
+		case *ast.CallExpr:
+			name := n.Fun.Name
+			if !seen[name] {
+				seen[name] = true
+				s.Callees = append(s.Callees, name)
+			}
+		}
+		return true
+	})
+	// Spawn targets inside CallExpr of SpawnStmt were visited as
+	// CallExpr too; distinguish: spawned-only = in Callees but never a
+	// plain call. SpawnStmt.Call is itself a *ast.CallExpr node, so we
+	// must subtract those occurrences.
+	spawnCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if sp, ok := n.(*ast.SpawnStmt); ok {
+			spawnCalls[sp.Call] = true
+		}
+		return true
+	})
+	plain := make(map[string]bool)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if ce, ok := n.(*ast.CallExpr); ok && !spawnCalls[ce] {
+			plain[ce.Fun.Name] = true
+		}
+		return true
+	})
+	for _, callee := range s.Callees {
+		if !plain[callee] {
+			s.SpawnedOnly[callee] = true
+		}
+	}
+	s.IsLeaf = len(plain) == 0
+	return funcFacts{space: space, uds: uds, sum: s}
+}
+
+// AnalyzeWith is Analyze with pass 1 (per-function direct facts) fanned out
+// across pool; a nil pool keeps every pass on the calling goroutine. The
+// fixpoint passes stay sequential — they converge to the least fixpoint
+// regardless of visit order, so the result is identical either way.
+func AnalyzeWith(info *sem.Info, pool *sched.Pool) *Result {
 	r := &Result{
 		Info:      info,
 		Summaries: make(map[string]*FuncSummary),
 		UseDefs:   make(map[string]map[ast.StmtID]*dataflow.UseDef),
 		Spaces:    make(map[string]*dataflow.Space),
 	}
-	nGlobals := info.NumGlobals()
 
-	// Pass 1: direct facts.
-	for _, fn := range info.FuncList {
-		space := dataflow.NewSpace(info, fn)
-		uds := dataflow.ComputeUseDef(space)
-		r.Spaces[fn.Name()] = space
-		r.UseDefs[fn.Name()] = uds
-
-		s := &FuncSummary{
-			Fn:            fn,
-			DirectUsed:    bitset.New(nGlobals),
-			DirectDefined: bitset.New(nGlobals),
-			SpawnedOnly:   make(map[string]bool),
+	// Pass 1: direct facts, one independent unit per function.
+	n := len(info.FuncList)
+	var facts []funcFacts
+	if pool == nil {
+		facts = make([]funcFacts, n)
+		for i, fn := range info.FuncList {
+			facts[i] = directFacts(info, fn)
 		}
-		for _, ud := range uds {
-			s.DirectUsed.UnionWith(space.GlobalsOnly(ud.Use))
-			s.DirectDefined.UnionWith(space.GlobalsOnly(ud.Def))
-		}
-
-		calledSync := make(map[string]bool) // callee reached by a plain call
-		seen := make(map[string]bool)
-		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case ast.Stmt:
-				if _, isBlock := n.(*ast.BlockStmt); !isBlock {
-					s.NumStmts++
-				}
-				switch st := n.(type) {
-				case *ast.SemStmt, *ast.SendStmt:
-					s.UsesSync = true
-				case *ast.SpawnStmt:
-					s.UsesSync = true
-					name := st.Call.Fun.Name
-					if !seen[name] {
-						seen[name] = true
-						s.Callees = append(s.Callees, name)
-					}
-				}
-			case *ast.RecvExpr:
-				s.UsesSync = true
-			case *ast.CallExpr:
-				name := n.Fun.Name
-				if !seen[name] {
-					seen[name] = true
-					s.Callees = append(s.Callees, name)
-				}
-				calledSync[name] = true
-			}
-			return true
+	} else {
+		facts = sched.Map(pool, n, func(i int) funcFacts {
+			return directFacts(info, info.FuncList[i])
 		})
-		// Spawn targets inside CallExpr of SpawnStmt were visited as
-		// CallExpr too; distinguish: spawned-only = in Callees but never a
-		// plain call. SpawnStmt.Call is itself a *ast.CallExpr node, so we
-		// must subtract those occurrences.
-		spawnCalls := make(map[*ast.CallExpr]bool)
-		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
-			if sp, ok := n.(*ast.SpawnStmt); ok {
-				spawnCalls[sp.Call] = true
-			}
-			return true
-		})
-		plain := make(map[string]bool)
-		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
-			if ce, ok := n.(*ast.CallExpr); ok && !spawnCalls[ce] {
-				plain[ce.Fun.Name] = true
-			}
-			return true
-		})
-		for _, callee := range s.Callees {
-			if !plain[callee] {
-				s.SpawnedOnly[callee] = true
-			}
-		}
-		s.IsLeaf = len(plain) == 0
-		r.Summaries[fn.Name()] = s
+	}
+	for i, fn := range info.FuncList {
+		r.Spaces[fn.Name()] = facts[i].space
+		r.UseDefs[fn.Name()] = facts[i].uds
+		r.Summaries[fn.Name()] = facts[i].sum
 	}
 
 	// Pass 2: transitive closure (only through plain calls; spawned code

@@ -15,19 +15,13 @@ import (
 // The format exists so the execution and debugging phases can be separate
 // OS processes (the paper's structure), exchanging logs through files.
 //
-// The encoder writes through encWriter so the same record codec serves
-// both the batch path (Write, through a bufio.Writer) and the streaming
-// path (Book.Append under a sink, through a bytes.Buffer) — the bytes are
-// identical by construction.
+// The record codec is append-based: appendRecord grows a []byte directly,
+// so both the batch path (Write, through a per-log scratch buffer) and the
+// streaming path (Book.Append into the per-book encode buffer) produce the
+// same bytes without per-field interface dispatch or writer bookkeeping on
+// the execution hot path.
 
 const magic = 0x50504431 // "PPD1"
-
-// encWriter is the codec's output: satisfied by *bufio.Writer (batch) and
-// *bytes.Buffer (streaming).
-type encWriter interface {
-	io.Writer
-	io.ByteWriter
-}
 
 // Write encodes the program log. A streamed log cannot be written again —
 // its records were encoded to the sink as they were produced and are no
@@ -43,11 +37,15 @@ func (pl *ProgramLog) Write(w io.Writer) error {
 		return err
 	}
 	putUvarint(bw, uint64(len(pl.Books)))
+	var scratch []byte
 	for _, b := range pl.Books {
 		putUvarint(bw, uint64(b.PID))
 		putUvarint(bw, uint64(len(b.Records)))
 		for _, r := range b.Records {
-			writeRecord(bw, r)
+			scratch = appendRecord(scratch[:0], r)
+			if _, err := bw.Write(scratch); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -99,29 +97,23 @@ func Read(r io.Reader) (*ProgramLog, error) {
 	return pl, nil
 }
 
-func putUvarint(w encWriter, v uint64) {
+func putUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n])
 }
 
-func putVarint(w encWriter, v int64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	w.Write(buf[:n])
-}
-
-func writeValue(w encWriter, v Value) {
+func appendValue(b []byte, v Value) []byte {
 	if v.Arr == nil {
-		w.WriteByte(0)
-		putVarint(w, v.Int)
-		return
+		b = append(b, 0)
+		return binary.AppendVarint(b, v.Int)
 	}
-	w.WriteByte(1)
-	putUvarint(w, uint64(len(v.Arr)))
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(v.Arr)))
 	for _, x := range v.Arr {
-		putVarint(w, x)
+		b = binary.AppendVarint(b, x)
 	}
+	return b
 }
 
 // readCap bounds the initial capacity handed to make() while decoding: a
@@ -155,12 +147,13 @@ func readValue(r *bufio.Reader) (Value, error) {
 	return Value{Arr: arr}, nil
 }
 
-func writeValMap(w encWriter, p Pairs) {
-	putUvarint(w, uint64(len(p)))
+func appendValMap(b []byte, p Pairs) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
 	for i := range p {
-		putUvarint(w, uint64(p[i].Idx))
-		writeValue(w, p[i].Val)
+		b = binary.AppendUvarint(b, uint64(p[i].Idx))
+		b = appendValue(b, p[i].Val)
 	}
+	return b
 }
 
 func readValMap(r *bufio.Reader) (Pairs, error) {
@@ -186,11 +179,12 @@ func readValMap(r *bufio.Reader) (Pairs, error) {
 	return p, nil
 }
 
-func writeIntSlice(w encWriter, s []int) {
-	putUvarint(w, uint64(len(s)))
+func appendIntSlice(b []byte, s []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
 	for _, x := range s {
-		putUvarint(w, uint64(x))
+		b = binary.AppendUvarint(b, uint64(x))
 	}
+	return b
 }
 
 func readIntSlice(r *bufio.Reader) ([]int, error) {
@@ -212,25 +206,30 @@ func readIntSlice(r *bufio.Reader) ([]int, error) {
 	return s, nil
 }
 
-func writeRecord(w encWriter, r *Record) {
-	w.WriteByte(byte(r.Kind))
-	putUvarint(w, uint64(r.Block))
-	putUvarint(w, uint64(r.Stmt))
-	w.WriteByte(byte(r.Op))
-	putVarint(w, int64(r.Obj))
-	putUvarint(w, r.Gsn)
-	putUvarint(w, r.FromGsn)
-	putVarint(w, r.Value)
-	writeValMap(w, r.Locals)
-	writeValMap(w, r.Globals)
+// appendRecord encodes r onto b and returns the extended slice. It is the
+// single record encoder: Write routes retained records through it, and the
+// streaming path appends into the per-book buffer with no intermediate
+// writer. EncodedLen mirrors its arithmetic exactly.
+func appendRecord(b []byte, r *Record) []byte {
+	b = append(b, byte(r.Kind))
+	b = binary.AppendUvarint(b, uint64(r.Block))
+	b = binary.AppendUvarint(b, uint64(r.Stmt))
+	b = append(b, byte(r.Op))
+	b = binary.AppendVarint(b, int64(r.Obj))
+	b = binary.AppendUvarint(b, r.Gsn)
+	b = binary.AppendUvarint(b, r.FromGsn)
+	b = binary.AppendVarint(b, r.Value)
+	b = appendValMap(b, r.Locals)
+	b = appendValMap(b, r.Globals)
 	if r.Ret != nil {
-		w.WriteByte(1)
-		writeValue(w, *r.Ret)
+		b = append(b, 1)
+		b = appendValue(b, *r.Ret)
 	} else {
-		w.WriteByte(0)
+		b = append(b, 0)
 	}
-	writeIntSlice(w, r.Reads)
-	writeIntSlice(w, r.Writes)
+	b = appendIntSlice(b, r.Reads)
+	b = appendIntSlice(b, r.Writes)
+	return b
 }
 
 func readRecord(br *bufio.Reader) (*Record, error) {

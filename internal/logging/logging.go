@@ -13,7 +13,6 @@ package logging
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -269,9 +268,11 @@ type Book struct {
 
 	// Streaming state: when stream is non-nil, Append encodes the record
 	// into the per-book buffer immediately and recycles it via free, so a
-	// long run retains encoded bytes instead of record structures.
+	// long run retains encoded bytes instead of record structures. The
+	// buffer is a plain append-grown []byte: one amortized append per
+	// record, no per-field writer dispatch on the hot path.
 	stream      *Stream
-	enc         *bytes.Buffer
+	enc         []byte
 	streamed    int // records encoded so far
 	streamStats Stats
 	free        []*Record
@@ -321,11 +322,11 @@ func (b *Book) Append(r *Record) {
 		b.Records = append(b.Records, r)
 		return
 	}
-	before := b.enc.Len()
-	writeRecord(b.enc, r)
+	before := len(b.enc)
+	b.enc = appendRecord(b.enc, r)
 	if int(r.Kind) < NumKinds {
 		b.streamStats.Records[r.Kind]++
-		b.streamStats.Bytes[r.Kind] += b.enc.Len() - before
+		b.streamStats.Bytes[r.Kind] += len(b.enc) - before
 	}
 	b.streamed++
 	b.free = append(b.free, r)
@@ -367,9 +368,6 @@ func (pl *ProgramLog) Streamed() bool { return pl.stream != nil }
 
 func (b *Book) attachStream(s *Stream) {
 	b.stream = s
-	if b.enc == nil {
-		b.enc = &bytes.Buffer{}
-	}
 }
 
 // CloseStream writes the streamed log to the sink in Write's exact format
@@ -390,7 +388,7 @@ func (pl *ProgramLog) CloseStream() error {
 	for _, b := range pl.Books {
 		putUvarint(bw, uint64(b.PID))
 		putUvarint(bw, uint64(b.streamed))
-		if _, err := bw.Write(b.enc.Bytes()); err != nil {
+		if _, err := bw.Write(b.enc); err != nil {
 			return err
 		}
 	}

@@ -1,7 +1,6 @@
 package logging
 
 import (
-	"bufio"
 	"bytes"
 	"testing"
 
@@ -34,17 +33,12 @@ func statsFixtures() []*Record {
 
 // TestStatsMatchEncodedBytes pins EncodedLen (and therefore Stats().Bytes)
 // to the codec: for each record kind, the accounted size must equal the
-// number of bytes writeRecord actually produces. This is the drift guard —
+// number of bytes appendRecord actually produces. This is the drift guard —
 // the old hand-rolled sizeBytes silently disagreed with the codec.
 func TestStatsMatchEncodedBytes(t *testing.T) {
 	for _, rec := range statsFixtures() {
-		var buf bytes.Buffer
-		bw := bufio.NewWriter(&buf)
-		writeRecord(bw, rec)
-		if err := bw.Flush(); err != nil {
-			t.Fatal(err)
-		}
-		if got, want := rec.EncodedLen(), buf.Len(); got != want {
+		enc := appendRecord(nil, rec)
+		if got, want := rec.EncodedLen(), len(enc); got != want {
 			t.Errorf("%v: EncodedLen = %d, codec wrote %d bytes", rec.Kind, got, want)
 		}
 	}
@@ -55,11 +49,7 @@ func TestStatsMatchEncodedBytes(t *testing.T) {
 	book := pl.BookFor(0)
 	wantBytes := map[Kind]int{}
 	for _, rec := range statsFixtures() {
-		var buf bytes.Buffer
-		bw := bufio.NewWriter(&buf)
-		writeRecord(bw, rec)
-		bw.Flush()
-		wantBytes[rec.Kind] += buf.Len()
+		wantBytes[rec.Kind] += len(appendRecord(nil, rec))
 		book.Append(rec)
 	}
 	st := pl.Stats()

@@ -24,6 +24,7 @@ import (
 	"ppd/internal/cfg"
 	"ppd/internal/dataflow"
 	"ppd/internal/interproc"
+	"ppd/internal/sched"
 	"ppd/internal/sem"
 )
 
@@ -145,7 +146,18 @@ func Build(info *sem.Info) *Program {
 // reading of §5.5 — every shared read in a unit is logged — and exists only
 // for the ablation experiment that quantifies what the refinement saves.
 func BuildWithFilter(info *sem.Info, crossWriteFilter bool) *Program {
-	inter := interproc.Analyze(info)
+	return BuildFromInter(interproc.Analyze(info), crossWriteFilter, nil)
+}
+
+// BuildFromInter builds the static PDG from a precomputed interprocedural
+// result, fanning the per-function construction (CFG, reaching definitions,
+// def-use chains, simplified graph, sync units) out across pool. A nil pool
+// runs sequentially. After the sequential MOD/REF fixpoint and the
+// cross-write set computation, each function's build reads only immutable
+// shared state, so the parallel merge (FuncList index order) yields a
+// Program identical to the sequential one.
+func BuildFromInter(inter *interproc.Result, crossWriteFilter bool, pool *sched.Pool) *Program {
+	info := inter.Info
 	p := &Program{
 		Info:       info,
 		Inter:      inter,
@@ -163,8 +175,17 @@ func BuildWithFilter(info *sem.Info, crossWriteFilter bool) *Program {
 			p.WrittenByOthers[fn.Name()] = p.SharedMask.Clone()
 		}
 	}
-	for _, fn := range info.FuncList {
-		p.Funcs[fn.Name()] = p.buildFunc(fn)
+	if pool == nil {
+		for _, fn := range info.FuncList {
+			p.Funcs[fn.Name()] = p.buildFunc(fn)
+		}
+	} else {
+		funcs := sched.Map(pool, len(info.FuncList), func(i int) *FuncPDG {
+			return p.buildFunc(info.FuncList[i])
+		})
+		for i, fn := range info.FuncList {
+			p.Funcs[fn.Name()] = funcs[i]
+		}
 	}
 	return p
 }

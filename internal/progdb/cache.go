@@ -1,0 +1,83 @@
+package progdb
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppd/internal/eblock"
+)
+
+// Cache is a persistent, content-addressed store of preparatory-phase
+// artifacts. Entries are keyed by CacheKey — a hash over the source bytes,
+// the e-block configuration, and the codec version — so a cache directory
+// can be shared across programs and ppd versions: anything that would
+// change the compile output changes the key, and stale entries are simply
+// never looked up again.
+type Cache struct {
+	Dir string
+}
+
+// CacheKey returns the content address for one compile: sha256 over the
+// codec version, the e-block config, the source name, and the source
+// bytes. Field boundaries are length-framed so concatenation ambiguities
+// cannot collide.
+func CacheKey(name, src string, cfg eblock.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ppdc\x00v%d\x00li%d\x00lb%d\x00", CodecVersion,
+		cfg.LeafInlineThreshold, cfg.LoopBlockMinStmts)
+	fmt.Fprintf(h, "%d\x00%s%d\x00%s", len(name), name, len(src), src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".ppdc")
+}
+
+// Load returns the cached artifacts for key and their encoded size, or
+// (nil, 0, nil) on a clean miss. A present-but-unreadable entry (corrupt
+// bytes, old codec) is also a miss: the caller recompiles and Store
+// overwrites it.
+func (c *Cache) Load(key string) (*CachedProgram, int, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	cp, err := Decode(data)
+	if err != nil {
+		return nil, 0, nil // treat corruption as a miss, not a failure
+	}
+	return cp, len(data), nil
+}
+
+// Store writes the entry atomically (temp file + rename) so a concurrent
+// Load never observes a torn write. Returns the encoded size.
+func (c *Cache) Store(key string, cp *CachedProgram) (int, error) {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return 0, err
+	}
+	data := Encode(cp)
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return len(data), nil
+}

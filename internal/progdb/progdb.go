@@ -16,6 +16,7 @@ import (
 	"ppd/internal/ast"
 	"ppd/internal/eblock"
 	"ppd/internal/pdg"
+	"ppd/internal/sched"
 	"ppd/internal/sem"
 	"ppd/internal/source"
 )
@@ -80,6 +81,15 @@ func (db *DB) Vet() *analysis.Result {
 
 // Build assembles the database from the earlier analyses.
 func Build(p *pdg.Program, plan *eblock.Plan) *DB {
+	return BuildWith(p, plan, nil)
+}
+
+// BuildWith is Build with the per-function statement/variable indexing
+// fanned out across pool (nil pool runs sequentially). Each function's
+// index is collected into a private partial; partials merge in FuncList
+// order, reproducing the sequential database exactly — per-variable
+// def/use site lists keep their sequential append order.
+func BuildWith(p *pdg.Program, plan *eblock.Plan, pool *sched.Pool) *DB {
 	db := &DB{
 		Prog:  p.Info.Prog,
 		Info:  p.Info,
@@ -95,17 +105,51 @@ func Build(p *pdg.Program, plan *eblock.Plan) *DB {
 		for _, l := range fn.Locals {
 			db.vars[key(fn.Name(), l.Name)] = &VarSites{Symbol: l, Scope: fn.Name()}
 		}
-		db.indexFunc(fn)
+	}
+	n := len(p.Info.FuncList)
+	var parts []*funcIndex
+	if pool == nil {
+		parts = make([]*funcIndex, n)
+		for i, fn := range p.Info.FuncList {
+			parts[i] = db.collectFunc(fn)
+		}
+	} else {
+		parts = sched.Map(pool, n, func(i int) *funcIndex {
+			return db.collectFunc(p.Info.FuncList[i])
+		})
+	}
+	for _, part := range parts {
+		db.mergeFunc(part)
 	}
 	return db
 }
 
 func key(scope, name string) string { return scope + "\x00" + name }
 
-func (db *DB) indexFunc(fn *sem.FuncInfo) {
+// funcIndex is one function's database contribution, collected without
+// touching the shared maps so collection can run concurrently.
+type funcIndex struct {
+	stmts []*StmtInfo
+	sites []siteContrib
+}
+
+// siteContrib is one def or use site of a variable, in the order the
+// sequential indexer would have appended it.
+type siteContrib struct {
+	sym   *sem.Symbol
+	scope string // "" for globals
+	def   bool
+	id    ast.StmtID
+}
+
+// collectFunc gathers one function's statement records and variable sites.
+// It only reads shared state (AST, PDG, spaces); all output goes into the
+// returned partial.
+func (db *DB) collectFunc(fn *sem.FuncInfo) *funcIndex {
 	f := db.PDG.Funcs[fn.Name()]
 	space := f.Space
 	file := db.Prog.File
+	part := &funcIndex{}
 	for _, s := range ast.Stmts(fn.Decl.Body) {
 		id := s.ID()
 		si := &StmtInfo{
@@ -120,35 +164,41 @@ func (db *DB) indexFunc(fn *sem.FuncInfo) {
 		}
 		if ud, ok := db.PDG.Inter.UseDefs[fn.Name()][id]; ok {
 			si.Calls = ud.Calls
-			ud.Def.ForEach(func(v int) {
-				vs := db.sitesForIndex(fn, space, v)
-				vs.Defs = append(vs.Defs, id)
-			})
-			ud.Use.ForEach(func(v int) {
-				vs := db.sitesForIndex(fn, space, v)
-				vs.Uses = append(vs.Uses, id)
-			})
+			contrib := func(v int, def bool) {
+				sc := siteContrib{sym: space.Symbol(v), def: def, id: id}
+				if !space.IsGlobal(v) {
+					sc.scope = fn.Name()
+				}
+				part.sites = append(part.sites, sc)
+			}
+			ud.Def.ForEach(func(v int) { contrib(v, true) })
+			ud.Use.ForEach(func(v int) { contrib(v, false) })
 		}
-		db.Stmts[id] = si
+		part.stmts = append(part.stmts, si)
 	}
+	return part
 }
 
-func (db *DB) sitesForIndex(fn *sem.FuncInfo, space interface {
-	IsGlobal(int) bool
-	Symbol(int) *sem.Symbol
-}, v int) *VarSites {
-	sym := space.Symbol(v)
-	scope := ""
-	if !space.IsGlobal(v) {
-		scope = fn.Name()
+// mergeFunc folds one partial into the shared maps. Callers invoke it in
+// FuncList order, which makes the merged database identical to the one the
+// sequential indexer builds.
+func (db *DB) mergeFunc(part *funcIndex) {
+	for _, si := range part.stmts {
+		db.Stmts[si.ID] = si
 	}
-	k := key(scope, sym.Name)
-	vs, ok := db.vars[k]
-	if !ok {
-		vs = &VarSites{Symbol: sym, Scope: scope}
-		db.vars[k] = vs
+	for _, sc := range part.sites {
+		k := key(sc.scope, sc.sym.Name)
+		vs, ok := db.vars[k]
+		if !ok {
+			vs = &VarSites{Symbol: sc.sym, Scope: sc.scope}
+			db.vars[k] = vs
+		}
+		if sc.def {
+			vs.Defs = append(vs.Defs, sc.id)
+		} else {
+			vs.Uses = append(vs.Uses, sc.id)
+		}
 	}
-	return vs
 }
 
 // Global returns def/use sites of a global variable, or nil.

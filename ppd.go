@@ -31,6 +31,7 @@ package ppd
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"ppd/internal/analysis"
 	"ppd/internal/ast"
@@ -106,6 +107,12 @@ type Options struct {
 	// debugging-phase builds and queries) as one timestamped line per
 	// scope. It does not affect the collected Stats.
 	Trace io.Writer
+	// CacheDir enables the persistent artifact cache for CompileOpts:
+	// preparatory-phase outputs are stored there keyed by a content hash of
+	// the source and configuration, and a later compile of identical input
+	// skips the whole pipeline. Empty falls back to the PPD_CACHE_DIR
+	// environment variable; empty both ways disables caching.
+	CacheDir string
 	// LogSink, when non-nil, streams the execution log during RunLogged:
 	// each record is encoded in PPD's binary format as it is produced and
 	// its memory recycled, so a long run retains compact encoded bytes
@@ -131,8 +138,15 @@ func (o Options) validate(art *compile.Artifacts) error {
 	if o.BreakAt < 0 {
 		return fmt.Errorf("ppd: BreakAt must be >= 0 (0 disables the breakpoint), got %d", o.BreakAt)
 	}
-	if o.BreakAt > 0 && art.DB.Stmt(ast.StmtID(o.BreakAt)) == nil {
-		return fmt.Errorf("ppd: BreakAt: no such statement s%d (see `ppd dump` for statement numbers)", o.BreakAt)
+	if o.BreakAt > 0 {
+		// Statement numbers live in the program database; a cache-loaded
+		// artifact rebuilds it here on first need.
+		if err := art.Hydrate(); err != nil {
+			return err
+		}
+		if art.DB.Stmt(ast.StmtID(o.BreakAt)) == nil {
+			return fmt.Errorf("ppd: BreakAt: no such statement s%d (see `ppd dump` for statement numbers)", o.BreakAt)
+		}
 	}
 	return nil
 }
@@ -150,12 +164,31 @@ func Compile(filename, src string) (*Program, error) {
 
 // CompileWithConfig compiles with an explicit e-block configuration.
 func CompileWithConfig(filename, src string, cfg BlockConfig) (*Program, error) {
+	return CompileOpts(filename, src, cfg, Options{})
+}
+
+// CompileOpts compiles with an explicit configuration and the
+// preparatory-phase knobs from opts: Workers bounds the pipeline's
+// per-function fan-out, and CacheDir (or the PPD_CACHE_DIR environment
+// variable) enables the persistent artifact cache. A cache hit returns a
+// Program whose semantic layers rebuild lazily on the first debugging-phase
+// query; Run, RunLogged, and Vet work immediately off the cached bytecode.
+func CompileOpts(filename, src string, cfg BlockConfig, opts Options) (*Program, error) {
 	sink := obs.New()
-	art, err := compile.CompileWithObs(source.NewFile(filename, src), cfg, sink)
+	art, err := compile.CompileCached(source.NewFile(filename, src), cfg, cacheDir(opts), opts.Workers, sink)
 	if err != nil {
 		return nil, err
 	}
 	return &Program{art: art, sink: sink}, nil
+}
+
+// cacheDir resolves the artifact-cache directory: the explicit option wins,
+// then the PPD_CACHE_DIR environment variable, then no caching.
+func cacheDir(opts Options) string {
+	if opts.CacheDir != "" {
+		return opts.CacheDir
+	}
+	return os.Getenv("PPD_CACHE_DIR")
 }
 
 // CompileStats returns the preparatory phase's metrics: per-pass timings and
@@ -270,6 +303,9 @@ func (p *Program) ReadLog(r io.Reader, opts Options) (*Execution, error) {
 	if opts.Trace != nil {
 		sink.SetTrace(opts.Trace)
 	}
+	if err := p.art.Hydrate(); err != nil {
+		return nil, err
+	}
 	// The loaded log stands in for a run: give the placeholder VM the same
 	// log so Log(), WriteLog, and Stats see the loaded records.
 	v := vm.New(p.art.Prog, vm.Options{Mode: vm.ModeLog})
@@ -290,6 +326,12 @@ func (p *Program) ReadLog(r io.Reader, opts Options) (*Execution, error) {
 // Controller returns the debugging-phase coordinator (cached).
 func (e *Execution) Controller() *Controller {
 	if e.ctl == nil {
+		if err := e.Program.art.Hydrate(); err != nil {
+			// A cached artifact rehydrates from the exact source that
+			// compiled when the entry was stored, so this cannot fail;
+			// failing loudly beats a nil-database panic downstream.
+			panic(fmt.Sprintf("ppd: hydrate artifacts: %v", err))
+		}
 		e.ctl = controller.FromRunConfig(e.Program.art, e.vm, controller.Config{
 			Workers:    e.opts.Workers,
 			CacheBound: e.opts.CacheBound,
@@ -339,6 +381,9 @@ func (e *Execution) RaceReport() string { return e.Controller().RaceReport() }
 // WhatIf re-executes the e-block interval at record prelogIdx of process
 // pid with the named global overridden, and reports what changed (§5.7).
 func (e *Execution) WhatIf(pid, prelogIdx int, global string, value int64) (*WhatIfResult, error) {
+	if err := e.Program.art.Hydrate(); err != nil {
+		return nil, err
+	}
 	sym := e.Program.art.Info.GlobalByName(global)
 	if sym == nil {
 		return nil, fmt.Errorf("ppd: no global %q", global)
