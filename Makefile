@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch
 
 all: build
 
@@ -29,8 +29,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
 
-check: vet fmt build race
+check: vet fmt build race fusion-check
 	@echo "check: OK"
+
+# The checked-in profile-guided fusion table must be regenerable: the test
+# re-profiles the standard workloads and diffs the result against
+# internal/bytecode/fusiontable_gen.go. Refresh deliberately with
+#   PPD_UPDATE_FUSION=1 $(GO) test ./internal/vm -run TestFusionTableFresh
+fusion-check:
+	$(GO) test -run TestFusionTableFresh ./internal/vm/
+	@echo "fusion-check: OK"
 
 # Coverage profile + per-package summary. internal/obs is the metrics
 # contract every phase reports through, so it carries a hard floor.
@@ -85,6 +93,10 @@ vetprune: build
 # Regenerate the E17 compile-cache table (writes BENCH_compile.json).
 compilecache: build
 	$(GO) run ./cmd/ppdbench compilecache
+
+# Regenerate the E18 dispatch table (writes BENCH_dispatch.json).
+dispatch: build
+	$(GO) run ./cmd/ppdbench dispatch
 
 # Cache correctness gate: a warm cached compile must be observationally
 # identical to a fresh one (execution log bytes, program output, vet

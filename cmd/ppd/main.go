@@ -22,6 +22,7 @@ import (
 
 	"ppd"
 	"ppd/internal/ast"
+	"ppd/internal/bytecode"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
 	"ppd/internal/debugger"
@@ -80,7 +81,9 @@ commands:
   vet       static analysis: race candidates, sync lints, uninitialized
             reads, dead stores (flags: -json -strict -timings)
   stats     run all three phases and print the observability snapshot
-            (flags: -seed -quantum -json -trace -cache-dir DIR)
+            (flags: -seed -quantum -json -trace -cache-dir DIR); with
+            -ops, profile dispatch instead: opcode / opcode-pair /
+            superinstruction execution counts (feeds the fusion table)
 `)
 }
 
@@ -239,6 +242,7 @@ func cmdStats(args []string) error {
 	seed, quantum := vmFlags(fs)
 	jsonOut := fs.Bool("json", false, "emit the snapshot as JSON")
 	trace := fs.Bool("trace", false, "stream phase-scope events to stderr")
+	ops := fs.Bool("ops", false, "profile dispatch instead: per-opcode, opcode-pair, and superinstruction counts")
 	cacheDir := fs.String("cache-dir", os.Getenv("PPD_CACHE_DIR"),
 		"persistent artifact cache directory (empty disables; default $PPD_CACHE_DIR)")
 	fs.Parse(args)
@@ -253,6 +257,17 @@ func cmdStats(args []string) error {
 		ppd.Options{CacheDir: *cacheDir})
 	if err != nil {
 		return err
+	}
+	if *ops {
+		st, err := prog.ProfileOps(ppd.Options{Seed: *seed, Quantum: *quantum})
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.Text(
+			func(op int) string { return bytecode.Op(op).String() },
+			func(op int) string { return bytecode.SuperOp(op).String() },
+		))
+		return nil
 	}
 	opts := ppd.Options{Seed: *seed, Quantum: *quantum}
 	if *trace {

@@ -18,6 +18,9 @@
 //	                      (also writes BENCH_analysis.json)
 //	ppdbench compilecache E17 parallel preparatory phase + persistent
 //	                      artifact cache (also writes BENCH_compile.json)
+//	ppdbench dispatch     E18 superinstruction fusion + table dispatch:
+//	                      fused vs unfused interpretation under ModeRun
+//	                      and ModeLog (also writes BENCH_dispatch.json)
 //	ppdbench all          everything
 package main
 
@@ -32,6 +35,7 @@ import (
 
 	"ppd/internal/analysis"
 	"ppd/internal/bitset"
+	"ppd/internal/bytecode"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
 	"ppd/internal/eblock"
@@ -73,6 +77,7 @@ func main() {
 	run("execlog", execlog)
 	run("vetprune", vetprune)
 	run("compilecache", compilecache)
+	run("dispatch", dispatch)
 }
 
 // timeRun executes the program under the given mode and returns the best-
@@ -498,17 +503,24 @@ func pardebug(w io.Writer) {
 // the optimized loops.
 func execlog(w io.Writer) {
 	fmt.Fprintln(w, "=== E15: execution hot path — mode-specialized loops + allocation-free logging ===")
-	fmt.Fprintf(w, "%-10s %12s %12s %12s %9s %11s\n",
-		"workload", "normal", "logged", "streamed", "log-ovh", "log-bytes")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %9s %11s\n",
+		"workload", "normal", "logged", "logged+wr", "streamed", "log-ovh", "log-bytes")
 
 	type row struct {
-		Workload   string  `json:"workload"`
-		NormalNs   int64   `json:"normal_ns"`
-		LoggedNs   int64   `json:"logged_ns"`
-		StreamedNs int64   `json:"streamed_ns"`
-		LogOvhPct  float64 `json:"log_overhead_pct"`
-		LogRatio   float64 `json:"log_ratio"`
-		LogBytes   int     `json:"log_bytes"`
+		Workload   string `json:"workload"`
+		GoVersion  string `json:"go_version"`
+		Gomaxprocs int    `json:"gomaxprocs"`
+		NormalNs   int64  `json:"normal_ns"`
+		LoggedNs   int64  `json:"logged_ns"`
+		// LoggedWriteNs is logged_ns plus serializing the retained log —
+		// the fair point of comparison for streamed_ns, whose timed region
+		// necessarily includes serialization (records encode as they are
+		// produced). See EXPERIMENTS.md E15 on the accounting.
+		LoggedWriteNs int64   `json:"logged_write_ns"`
+		StreamedNs    int64   `json:"streamed_ns"`
+		LogOvhPct     float64 `json:"log_overhead_pct"`
+		LogRatio      float64 `json:"log_ratio"`
+		LogBytes      int     `json:"log_bytes"`
 	}
 	var rows []row
 	for _, wl := range workloads.Standard() {
@@ -518,6 +530,15 @@ func execlog(w io.Writer) {
 		}
 		tNorm := timeRun(inst, vm.ModeRun, reps)
 		tLog := timeRun(inst, vm.ModeLog, reps)
+		tLogWrite := bestOf(reps, func() {
+			v := vm.New(inst.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 1000})
+			if err := v.Run(); err != nil {
+				panic(err)
+			}
+			if err := v.Log.Write(&countWriter{}); err != nil {
+				panic(err)
+			}
+		})
 		var logBytes int
 		tStream := bestOf(reps, func() {
 			cw := &countWriter{}
@@ -528,15 +549,17 @@ func execlog(w io.Writer) {
 			logBytes = cw.n
 		})
 		r := row{
-			Workload: wl.Name, NormalNs: tNorm.Nanoseconds(),
-			LoggedNs: tLog.Nanoseconds(), StreamedNs: tStream.Nanoseconds(),
-			LogOvhPct: 100 * float64(tLog-tNorm) / float64(tNorm),
-			LogRatio:  float64(tLog) / float64(tNorm),
-			LogBytes:  logBytes,
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0), NormalNs: tNorm.Nanoseconds(),
+			LoggedNs: tLog.Nanoseconds(), LoggedWriteNs: tLogWrite.Nanoseconds(),
+			StreamedNs: tStream.Nanoseconds(),
+			LogOvhPct:  100 * float64(tLog-tNorm) / float64(tNorm),
+			LogRatio:   float64(tLog) / float64(tNorm),
+			LogBytes:   logBytes,
 		}
 		rows = append(rows, r)
-		fmt.Fprintf(w, "%-10s %12v %12v %12v %8.1f%% %11d\n",
-			wl.Name, tNorm, tLog, tStream, r.LogOvhPct, r.LogBytes)
+		fmt.Fprintf(w, "%-10s %12v %12v %12v %12v %8.1f%% %11d\n",
+			wl.Name, tNorm, tLog, tLogWrite, tStream, r.LogOvhPct, r.LogBytes)
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -546,6 +569,66 @@ func execlog(w io.Writer) {
 		panic(err)
 	}
 	fmt.Fprintln(w, "wrote BENCH_exec.json")
+}
+
+// dispatch is E18: what the profile-guided superinstructions buy on top of
+// the table dispatcher. For every standard workload it compiles twice from
+// identical source — once with the default fusion table, once with fusion
+// disabled — and times both under ModeRun (pure dispatch cost) and ModeLog
+// (dispatch plus logging writes). The two programs produce byte-identical
+// logs (golden-tested), so any delta is dispatch. Writes
+// BENCH_dispatch.json.
+func dispatch(w io.Writer) {
+	fmt.Fprintln(w, "=== E18: superinstruction fusion + table dispatch ===")
+	fmt.Fprintf(w, "%-10s %12s %12s %8s %12s %12s %8s %7s\n",
+		"workload", "run-unfused", "run-fused", "run-spd", "log-unfused", "log-fused", "log-spd", "supers")
+
+	type row struct {
+		Workload     string  `json:"workload"`
+		GoVersion    string  `json:"go_version"`
+		Gomaxprocs   int     `json:"gomaxprocs"`
+		Superinstrs  int     `json:"superinstrs"`
+		RunUnfusedNs int64   `json:"run_unfused_ns"`
+		RunFusedNs   int64   `json:"run_fused_ns"`
+		RunSpeedup   float64 `json:"run_speedup"`
+		LogUnfusedNs int64   `json:"log_unfused_ns"`
+		LogFusedNs   int64   `json:"log_fused_ns"`
+		LogSpeedup   float64 `json:"log_speedup"`
+	}
+	var rows []row
+	for _, wl := range workloads.Standard() {
+		fused, err := compile.CompileFusedSource(wl.Name, wl.Src, eblock.DefaultConfig(), bytecode.DefaultFusionTable())
+		if err != nil {
+			panic(err)
+		}
+		plain, err := compile.CompileFusedSource(wl.Name, wl.Src, eblock.DefaultConfig(), nil)
+		if err != nil {
+			panic(err)
+		}
+		tRunPlain := timeRun(plain, vm.ModeRun, reps)
+		tRunFused := timeRun(fused, vm.ModeRun, reps)
+		tLogPlain := timeRun(plain, vm.ModeLog, reps)
+		tLogFused := timeRun(fused, vm.ModeLog, reps)
+		r := row{
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0), Superinstrs: fused.Prog.NumSuper(),
+			RunUnfusedNs: tRunPlain.Nanoseconds(), RunFusedNs: tRunFused.Nanoseconds(),
+			RunSpeedup:   float64(tRunPlain) / float64(tRunFused),
+			LogUnfusedNs: tLogPlain.Nanoseconds(), LogFusedNs: tLogFused.Nanoseconds(),
+			LogSpeedup: float64(tLogPlain) / float64(tLogFused),
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(w, "%-10s %12v %12v %7.2fx %12v %12v %7.2fx %7d\n",
+			wl.Name, tRunPlain, tRunFused, r.RunSpeedup, tLogPlain, tLogFused, r.LogSpeedup, r.Superinstrs)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_dispatch.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_dispatch.json")
 }
 
 // countWriter counts streamed bytes without retaining them.
@@ -615,6 +698,8 @@ func vetprune(w io.Writer) {
 
 	type row struct {
 		Workload      string  `json:"workload"`
+		GoVersion     string  `json:"go_version"`
+		Gomaxprocs    int     `json:"gomaxprocs"`
 		AnalysisNs    int64   `json:"analysis_ns"`
 		UnprunedNs    int64   `json:"unpruned_ns"`
 		PrunedNs      int64   `json:"pruned_ns"`
@@ -653,7 +738,8 @@ func vetprune(w io.Writer) {
 		pruned := sink.Snapshot().Counters["race.buckets.pruned"]
 
 		r := row{
-			Workload: wl.Name, AnalysisNs: tAnalysis.Nanoseconds(),
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0), AnalysisNs: tAnalysis.Nanoseconds(),
 			UnprunedNs: tUnpruned.Nanoseconds(), PrunedNs: tPruned.Nanoseconds(),
 			Speedup:       float64(tUnpruned) / float64(tPruned),
 			CandidateVars: res.Conflicts.NumCandidates(),
@@ -692,6 +778,7 @@ func compilecache(w io.Writer) {
 
 	type row struct {
 		Workload        string  `json:"workload"`
+		GoVersion       string  `json:"go_version"`
 		Gomaxprocs      int     `json:"gomaxprocs"`
 		PoolWorkers     int     `json:"pool_workers"`
 		SequentialNs    int64   `json:"sequential_ns"`
@@ -758,7 +845,8 @@ func compilecache(w io.Writer) {
 		}
 
 		r := row{
-			Workload: wl.Name, Gomaxprocs: runtime.GOMAXPROCS(0),
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs:   runtime.GOMAXPROCS(0),
 			PoolWorkers:  sched.Shared().Workers(),
 			SequentialNs: tSeq.Nanoseconds(), ParallelNs: tPar.Nanoseconds(),
 			ParallelSpeedup: float64(tSeq) / float64(tPar),

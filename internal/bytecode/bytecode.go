@@ -78,6 +78,10 @@ const (
 	OpPrelog   // e-block A entry
 	OpPostlog  // e-block A exit; B==1: return value is on TOS
 	OpShPrelog // shared prelog for unit table entry A
+
+	// NumOps bounds the opcode space (profiling histograms, dispatch
+	// tables). Keep it last.
+	NumOps
 )
 
 var opNames = [...]string{
@@ -136,6 +140,13 @@ type Func struct {
 
 	// ArraySlots maps local slots to array lengths for frame setup.
 	ArraySlots map[int]int
+
+	// Super is the superinstruction side table produced by Fuse: parallel
+	// to Code, Super[pc].Op != SuperNone means the fused sequence of
+	// Super[pc].W instructions starts at pc. Code itself is never
+	// rewritten, so all PC-based metadata stays valid; nil when the
+	// function has no fused sites (or fusion is disabled).
+	Super []SuperInstr
 }
 
 // GlobalKind classifies runtime globals.

@@ -124,6 +124,24 @@ func CompileSource(name, src string, cfg eblock.Config) (*Artifacts, error) {
 	return Compile(source.NewFile(name, src), cfg)
 }
 
+// CompileFused compiles with an explicit superinstruction fusion table. A
+// nil table disables the fusion pass entirely — the unfused baseline of
+// the dispatch experiments; every other entry point fuses with
+// bytecode.DefaultFusionTable.
+func CompileFused(file *source.File, cfg eblock.Config, tab *bytecode.FusionTable) (*Artifacts, error) {
+	return compilePipeline(file, cfg, pipelineOpts{
+		crossWriteFilter: true,
+		pool:             poolFor(0, nil),
+		fusion:           tab,
+		noFusion:         tab == nil,
+	})
+}
+
+// CompileFusedSource is the string-input variant of CompileFused.
+func CompileFusedSource(name, src string, cfg eblock.Config, tab *bytecode.FusionTable) (*Artifacts, error) {
+	return CompileFused(source.NewFile(name, src), cfg, tab)
+}
+
 // Vet runs the static-analysis passes over the compiled program and
 // persists the result in the program database: repeated calls (from the
 // CLI, the controller's detector pruning, or the public API) share one
@@ -149,11 +167,27 @@ func (a *Artifacts) Vet(sink *obs.Sink) *analysis.Result {
 // compiled, vetted, and stored. sink receives compile.cache.{hits,misses,
 // bytes} counters alongside the usual pipeline metrics.
 func CompileCached(file *source.File, cfg eblock.Config, cacheDir string, workers int, sink *obs.Sink) (*Artifacts, error) {
+	return CompileCachedFused(file, cfg, cacheDir, workers, bytecode.DefaultFusionTable(), sink)
+}
+
+// CompileCachedFused is CompileCached with an explicit fusion table (nil
+// disables fusion). The table's fingerprint is part of the cache key, so
+// artifacts fused under different tables — or not fused at all — never
+// collide: changing the checked-in table turns stale entries into clean
+// misses.
+func CompileCachedFused(file *source.File, cfg eblock.Config, cacheDir string, workers int, tab *bytecode.FusionTable, sink *obs.Sink) (*Artifacts, error) {
+	po := pipelineOpts{
+		crossWriteFilter: true,
+		sink:             sink,
+		pool:             poolFor(workers, sink),
+		fusion:           tab,
+		noFusion:         tab == nil,
+	}
 	if cacheDir == "" {
-		return CompileWorkers(file, cfg, workers, sink)
+		return compilePipeline(file, cfg, po)
 	}
 	cache := &progdb.Cache{Dir: cacheDir}
-	key := progdb.CacheKey(file.Name, file.Content, cfg)
+	key := progdb.CacheKey(file.Name, file.Content, cfg, tab.Fingerprint())
 	if cp, size, err := cache.Load(key); err == nil && cp != nil {
 		if sink != nil {
 			sink.Counter("compile.cache.hits").Add(1)
@@ -161,7 +195,7 @@ func CompileCached(file *source.File, cfg eblock.Config, cacheDir string, worker
 		}
 		return &Artifacts{File: file, Prog: cp.Prog, cfg: cfg, preVet: cp.Vet}, nil
 	}
-	art, err := CompileWorkers(file, cfg, workers, sink)
+	art, err := compilePipeline(file, cfg, po)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +242,13 @@ type pipelineOpts struct {
 	skipCodegen      bool // Hydrate: bytecode already loaded from the cache
 	sink             *obs.Sink
 	pool             *sched.Pool // nil: run every pass sequentially
+
+	// fusion selects the superinstruction table for the peephole pass that
+	// runs after codegen; nil means bytecode.DefaultFusionTable() unless
+	// noFusion is set (CompileFused with an explicit nil disables fusion —
+	// the unfused baseline of the dispatch experiments).
+	fusion   *bytecode.FusionTable
+	noFusion bool
 }
 
 // compilePipeline is the preparatory phase's pass DAG. The global stages —
@@ -271,6 +312,21 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 	if err != nil {
 		return nil, err
 	}
+
+	// Superinstruction fusion: a cheap sequential peephole over the merged
+	// code that fills each function's Super side table (bytecode.Fuse). It
+	// runs last so it sees the final instruction layout; Code itself is
+	// never rewritten, so every PC-based artifact above stays valid.
+	if !po.noFusion {
+		sc = pass("fuse")
+		tab := po.fusion
+		if tab == nil {
+			tab = bytecode.DefaultFusionTable()
+		}
+		bytecode.Fuse(c.out, tab)
+		sc.End()
+	}
+
 	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db, cfg: cfg}
 	foldArtifactSizes(po.sink, art)
 	return art, nil
@@ -285,6 +341,7 @@ func foldArtifactSizes(sink *obs.Sink, art *Artifacts) {
 	sink.Counter("compile.funcs").Add(int64(len(art.Prog.Funcs)))
 	sink.Counter("compile.globals").Add(int64(len(art.Prog.Globals)))
 	sink.Counter("compile.instrs").Add(int64(art.Prog.NumInstrs()))
+	sink.Counter("compile.superinstrs").Add(int64(art.Prog.NumSuper()))
 	sink.Counter("compile.eblocks").Add(int64(len(art.Plan.Blocks)))
 	sink.Counter("compile.eblocks.inlined").Add(int64(len(art.Plan.Inlined)))
 	var units, edges, deps, sites int

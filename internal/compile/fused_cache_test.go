@@ -1,0 +1,55 @@
+package compile
+
+import (
+	"testing"
+
+	"ppd/internal/bytecode"
+	"ppd/internal/eblock"
+	"ppd/internal/source"
+	"ppd/internal/workloads"
+)
+
+// TestCompileCachedWarmReturnsFused pins the cache ↔ fusion contract: a
+// warm hit hands back the same superinstruction side tables a cold fused
+// compile produced, and fused/unfused compiles of the same source never
+// share an entry (the fusion fingerprint is part of the key).
+func TestCompileCachedWarmReturnsFused(t *testing.T) {
+	dir := t.TempDir()
+	cfg := eblock.DefaultConfig()
+	wl := workloads.TokenRing(4, 100)
+	file := source.NewFile(wl.Name+".mpl", wl.Src)
+	tab := bytecode.DefaultFusionTable()
+
+	cold, err := CompileCachedFused(file, cfg, dir, 0, tab, nil)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	want := cold.Prog.NumSuper()
+	if want == 0 {
+		t.Fatal("cold fused compile produced no superinstructions")
+	}
+	warm, err := CompileCachedFused(file, cfg, dir, 0, tab, nil)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if got := warm.Prog.NumSuper(); got != want {
+		t.Errorf("warm hit returned %d superinstructions, cold compile had %d", got, want)
+	}
+
+	// Same directory, fusion off: must miss the fused entry and produce a
+	// clean program, not serve fused bytecode from the shared cache.
+	plain, err := CompileCachedFused(file, cfg, dir, 0, nil, nil)
+	if err != nil {
+		t.Fatalf("unfused: %v", err)
+	}
+	if got := plain.Prog.NumSuper(); got != 0 {
+		t.Errorf("unfused compile returned %d superinstructions from a shared cache dir", got)
+	}
+	warmPlain, err := CompileCachedFused(file, cfg, dir, 0, nil, nil)
+	if err != nil {
+		t.Fatalf("warm unfused: %v", err)
+	}
+	if got := warmPlain.Prog.NumSuper(); got != 0 {
+		t.Errorf("warm unfused hit returned %d superinstructions", got)
+	}
+}

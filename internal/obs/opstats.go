@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpStats is the per-opcode dispatch profile the VM fills when
+// vm.Options.OpProfile is set: dynamic execution counts per opcode, per
+// adjacent opcode pair, and per dispatched superinstruction. It is what
+// feeds the profile-guided fusion table (internal/bytecode) and what
+// `ppd stats -ops` renders.
+//
+// Unlike Counter, the slices are plain (non-atomic) int64: a VM executes
+// on a single goroutine and the profiled interpreter loop increments them
+// directly; an OpStats must not be shared between concurrently running
+// VMs. Superinstruction dispatches also count their constituent opcodes
+// and pairs, so the op/pair histograms are invariants of the program's
+// execution, not of the fusion configuration that ran it.
+type OpStats struct {
+	numOps int
+	Ops    []int64 // executions per opcode
+	Pairs  []int64 // executions per adjacent pair, Pairs[prev*numOps+cur]
+	Super  []int64 // dispatches per superinstruction shape
+}
+
+// NewOpStats sizes a profile for numOps opcodes and numSuper
+// superinstruction shapes.
+func NewOpStats(numOps, numSuper int) *OpStats {
+	return &OpStats{
+		numOps: numOps,
+		Ops:    make([]int64, numOps),
+		Pairs:  make([]int64, numOps*numOps),
+		Super:  make([]int64, numSuper),
+	}
+}
+
+// NumOps returns the opcode-space size the profile was built for.
+func (s *OpStats) NumOps() int { return s.numOps }
+
+// Count records one execution of opcode cur whose dynamic predecessor was
+// prev (prev < 0: none, e.g. the first instruction of a slice).
+func (s *OpStats) Count(prev, cur int) {
+	s.Ops[cur]++
+	if prev >= 0 {
+		s.Pairs[prev*s.numOps+cur]++
+	}
+}
+
+// CountSuper records one dispatched superinstruction.
+func (s *OpStats) CountSuper(op int) { s.Super[op]++ }
+
+// Total returns the number of opcode executions recorded.
+func (s *OpStats) Total() int64 {
+	var t int64
+	for _, n := range s.Ops {
+		t += n
+	}
+	return t
+}
+
+// PairCount is one adjacent-pair tally.
+type PairCount struct {
+	Prev, Cur int
+	N         int64
+}
+
+// TopPairs returns the n most frequent adjacent pairs, most frequent
+// first (ties by pair index, so the order is deterministic).
+func (s *OpStats) TopPairs(n int) []PairCount {
+	var out []PairCount
+	for i, c := range s.Pairs {
+		if c > 0 {
+			out = append(out, PairCount{Prev: i / s.numOps, Cur: i % s.numOps, N: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		if out[i].Prev != out[j].Prev {
+			return out[i].Prev < out[j].Prev
+		}
+		return out[i].Cur < out[j].Cur
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Text renders the histogram. opName and superName translate opcode /
+// superinstruction indices (obs cannot import bytecode: it must stay a
+// leaf package).
+func (s *OpStats) Text(opName, superName func(int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops (total %d):\n", s.Total())
+	type row struct {
+		i int
+		n int64
+	}
+	var rows []row
+	for i, n := range s.Ops {
+		if n > 0 {
+			rows = append(rows, row{i, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].i < rows[j].i
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %12d\n", opName(r.i), r.n)
+	}
+	if pairs := s.TopPairs(16); len(pairs) > 0 {
+		b.WriteString("pairs (top 16):\n")
+		for _, pc := range pairs {
+			fmt.Fprintf(&b, "  %-21s %12d\n", opName(pc.Prev)+"+"+opName(pc.Cur), pc.N)
+		}
+	}
+	rows = rows[:0]
+	for i, n := range s.Super {
+		if n > 0 {
+			rows = append(rows, row{i, n})
+		}
+	}
+	if len(rows) > 0 {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].i < rows[j].i
+		})
+		b.WriteString("superinstructions:\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-12s %12d\n", superName(r.i), r.n)
+		}
+	}
+	return b.String()
+}

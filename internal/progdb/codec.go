@@ -31,7 +31,11 @@ const cacheMagic = 0x50504443
 
 // CodecVersion is bumped whenever the encoded layout changes. It is part
 // of both the file header and the content-hash cache key.
-const CodecVersion = 1
+//
+// v2: functions carry the superinstruction side table (bytecode.Fuse), so
+// warm cache hits return fused bytecode; v1 entries decode-fail into clean
+// misses.
+const CodecVersion = 2
 
 // CachedProgram is the persisted slice of a compile: everything the
 // execution phase needs (the bytecode program) plus the vet result the
@@ -200,6 +204,28 @@ func appendFunc(b []byte, f *bytecode.Func) []byte {
 		b = binary.AppendVarint(b, int64(k))
 		b = binary.AppendVarint(b, int64(f.ArraySlots[k]))
 	}
+	// Superinstruction side table, sparse: only non-None entries, keyed by
+	// pc (the table is parallel to Code and usually mostly empty).
+	nSup := 0
+	for i := range f.Super {
+		if f.Super[i].Op != bytecode.SuperNone {
+			nSup++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(nSup))
+	for pc := range f.Super {
+		s := &f.Super[pc]
+		if s.Op == bytecode.SuperNone {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(pc))
+		b = append(b, byte(s.Op), s.W, byte(s.Bin))
+		b = binary.AppendVarint(b, int64(s.A))
+		b = binary.AppendVarint(b, int64(s.B))
+		b = binary.AppendVarint(b, int64(s.C))
+		b = binary.AppendVarint(b, s.K)
+		b = binary.AppendVarint(b, int64(s.T))
+	}
 	return b
 }
 
@@ -355,6 +381,18 @@ func funcLen(f *bytecode.Func) int {
 	for k, v := range f.ArraySlots {
 		n += varintLen(int64(k)) + varintLen(int64(v))
 	}
+	nSup := 0
+	for i := range f.Super {
+		s := &f.Super[i]
+		if s.Op == bytecode.SuperNone {
+			continue
+		}
+		nSup++
+		n += uvarintLen(uint64(i)) + 3 +
+			varintLen(int64(s.A)) + varintLen(int64(s.B)) + varintLen(int64(s.C)) +
+			varintLen(s.K) + varintLen(int64(s.T))
+	}
+	n += uvarintLen(uint64(nSup))
 	return n
 }
 
@@ -668,6 +706,62 @@ func (d *decoder) fn() (*bytecode.Func, error) {
 				return nil, err
 			}
 			f.ArraySlots[k] = v
+		}
+	}
+	nSup, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nSup > 0 {
+		// len(f.Code) is already decoded, so the dense side table's size is
+		// bounded by validated input.
+		f.Super = make([]bytecode.SuperInstr, len(f.Code))
+		for i := uint64(0); i < nSup; i++ {
+			pc, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			op, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			var s bytecode.SuperInstr
+			s.Op = bytecode.SuperOp(op)
+			if s.W, err = d.byte(); err != nil {
+				return nil, err
+			}
+			bin, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			s.Bin = bytecode.Op(bin)
+			if s.A, err = d.int(); err != nil {
+				return nil, err
+			}
+			if s.B, err = d.int(); err != nil {
+				return nil, err
+			}
+			if s.C, err = d.int(); err != nil {
+				return nil, err
+			}
+			if s.K, err = d.varint(); err != nil {
+				return nil, err
+			}
+			if s.T, err = d.int(); err != nil {
+				return nil, err
+			}
+			// The dispatcher executes Super entries without per-step pc
+			// checks, so reject anything the fusion pass could not emit.
+			if s.Op == bytecode.SuperNone || s.Op >= bytecode.NumSuperOps {
+				return nil, fmt.Errorf("progdb: super op %d out of range", op)
+			}
+			if s.W < 2 || s.W > 4 {
+				return nil, fmt.Errorf("progdb: super width %d out of range", s.W)
+			}
+			if pc >= uint64(len(f.Code)) || pc+uint64(s.W) > uint64(len(f.Code)) {
+				return nil, fmt.Errorf("progdb: super pc %d out of range", pc)
+			}
+			f.Super[pc] = s
 		}
 	}
 	return f, nil

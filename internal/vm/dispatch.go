@@ -1,0 +1,596 @@
+package vm
+
+import (
+	"sync"
+
+	"ppd/internal/ast"
+	"ppd/internal/bytecode"
+	"ppd/internal/logging"
+)
+
+// Table-driven dispatch — Go's closest analogue to direct threading.
+//
+// ModeRun and ModeLog slices execute through per-opcode func-value tables
+// built once (per process lifetime, under a sync.Once) instead of a switch:
+// the dispatcher fetches the opcode and calls straight through a function
+// pointer, and at every pc it first consults the function's superinstruction
+// side table (bytecode.Fuse) to execute a whole fused sequence in one call.
+// The generic stepT remains the cold-path oracle for calls, returns, spawns,
+// blocking synchronization, and printing, exactly as in the previous
+// switch-based loops.
+//
+// The contract is unchanged from those loops and is pinned by the golden
+// matrix (TestLogGoldenByteIdentical, TestLogGoldenFusedVsUnfused): same
+// step counts, same failure sites, byte-identical ModeLog output. Two rules
+// keep fused execution inside that contract:
+//
+//   - a superinstruction of width W executes only when the current slice
+//     has ≥ W quantum left AND the instruction budget admits W more steps;
+//     otherwise the same instructions run through single-op dispatch, so
+//     slice boundaries and budget-exhaustion points land on exactly the
+//     same instruction as with fusion off;
+//   - only infallible sequences are fused (bytecode.Fuse), so every
+//     failure site still reports its single-op PC.
+//
+// Handlers communicate non-linear control flow through dispatch.sig:
+// sigReload after a cold op that may have changed the top frame, sigExit on
+// failure/block/finish (the handler has already written back PC/stack).
+
+type opFn func(d *dispatch, in *bytecode.Instr)
+
+type superFn func(d *dispatch, s *bytecode.SuperInstr)
+
+// opTable is indexed by the full uint8 opcode space: a corrupt cache entry
+// can carry any byte, and every unspecialized opcode routes to dCold whose
+// stepT oracle reports "illegal opcode" exactly like the old switch.
+type opTable [256]opFn
+
+type superTable [bytecode.NumSuperOps]superFn
+
+// dispatch carries the interpreter's cached hot state across handler
+// calls. One instance lives in the VM (no per-slice allocation); the
+// fields mirror the locals of the former runSliceRun/runSliceLog loops.
+type dispatch struct {
+	v     *VM
+	p     *Proc
+	f     *Frame
+	code  []bytecode.Instr
+	super []bytecode.SuperInstr
+	slots []Value
+	stack []int64
+	pc    int
+	sig   uint8
+}
+
+const (
+	sigNone   uint8 = iota
+	sigReload       // cold op ran through stepT: re-cache the top frame
+	sigExit         // failure/block/finish: PC and stack already written back
+)
+
+var (
+	tablesOnce sync.Once
+	runOps     opTable
+	logOps     opTable
+	runSups    superTable
+	logSups    superTable
+)
+
+// reload re-caches the (possibly new) top frame after a cold op.
+func (d *dispatch) reload() {
+	f := d.p.top()
+	d.f = f
+	d.code = f.Fn.Code
+	d.super = f.Fn.Super
+	d.slots = f.Slots
+	d.stack = f.Stack
+	d.pc = f.PC
+}
+
+// runSliceTab is the table-driven slice driver for ModeRun and ModeLog.
+func (v *VM) runSliceTab(p *Proc) {
+	d := &v.disp
+	d.v, d.p, d.sig = v, p, sigNone
+	d.reload()
+	ops, sups := v.ops, v.sups
+	quantum, maxSteps := v.Opts.Quantum, v.Opts.MaxSteps
+
+	for q := 0; q < quantum; {
+		if d.super != nil && d.pc < len(d.super) {
+			if s := &d.super[d.pc]; s.Op != bytecode.SuperNone {
+				if w := int(s.W); q+w <= quantum && v.Steps+int64(w) <= maxSteps {
+					v.Steps += int64(w)
+					q += w
+					d.pc += w
+					sups[s.Op](d, s)
+					continue
+				}
+			}
+		}
+		v.Steps++
+		q++
+		if v.Steps > maxSteps {
+			d.f.PC, d.f.Stack = d.pc, d.stack
+			v.fail(p, ast.NoStmt, "instruction budget exhausted")
+			return
+		}
+		if d.pc >= len(d.code) {
+			d.f.PC, d.f.Stack = d.pc, d.stack
+			v.fail(p, ast.NoStmt, "pc out of range in %s", d.f.Fn.Name)
+			return
+		}
+		in := &d.code[d.pc]
+		d.pc++
+		ops[in.Op](d, in)
+		if d.sig != sigNone {
+			if d.sig == sigExit {
+				return
+			}
+			d.sig = sigNone
+			d.reload()
+		}
+	}
+	d.f.PC, d.f.Stack = d.pc, d.stack
+}
+
+// runSliceTabProf is runSliceTab plus the per-opcode/per-pair profile for
+// Options.OpProfile. It is a separate copy so the unprofiled driver pays
+// nothing; fused dispatches count their constituent opcodes and pairs, so
+// the histogram does not depend on the fusion configuration.
+func (v *VM) runSliceTabProf(p *Proc) {
+	d := &v.disp
+	d.v, d.p, d.sig = v, p, sigNone
+	d.reload()
+	ops, sups := v.ops, v.sups
+	prof := v.prof
+	quantum, maxSteps := v.Opts.Quantum, v.Opts.MaxSteps
+	prev := -1
+
+	for q := 0; q < quantum; {
+		if d.super != nil && d.pc < len(d.super) {
+			if s := &d.super[d.pc]; s.Op != bytecode.SuperNone {
+				if w := int(s.W); q+w <= quantum && v.Steps+int64(w) <= maxSteps {
+					for i := d.pc; i < d.pc+w; i++ {
+						op := int(d.code[i].Op)
+						prof.Count(prev, op)
+						prev = op
+					}
+					prof.CountSuper(int(s.Op))
+					v.Steps += int64(w)
+					q += w
+					d.pc += w
+					sups[s.Op](d, s)
+					continue
+				}
+			}
+		}
+		v.Steps++
+		q++
+		if v.Steps > maxSteps {
+			d.f.PC, d.f.Stack = d.pc, d.stack
+			v.fail(p, ast.NoStmt, "instruction budget exhausted")
+			return
+		}
+		if d.pc >= len(d.code) {
+			d.f.PC, d.f.Stack = d.pc, d.stack
+			v.fail(p, ast.NoStmt, "pc out of range in %s", d.f.Fn.Name)
+			return
+		}
+		in := &d.code[d.pc]
+		d.pc++
+		prof.Count(prev, int(in.Op))
+		prev = int(in.Op)
+		ops[in.Op](d, in)
+		if d.sig != sigNone {
+			if d.sig == sigExit {
+				return
+			}
+			d.sig = sigNone
+			d.reload()
+		}
+	}
+	d.f.PC, d.f.Stack = d.pc, d.stack
+}
+
+// buildDispatchTables fills the run/log op and superinstruction tables.
+// The two op tables differ only where ModeLog marks shared-variable
+// accesses or emits log records; everything else is shared handler code.
+func buildDispatchTables() {
+	var base opTable
+	for i := range base {
+		base[i] = dCold
+	}
+	base[bytecode.OpNop] = dNop
+	base[bytecode.OpConst] = dConst
+	base[bytecode.OpPop] = dPop
+	base[bytecode.OpLoadLocal] = dLoadLocal
+	base[bytecode.OpStoreLocal] = dStoreLocal
+	base[bytecode.OpLoadIndexedL] = dLoadIndexedL
+	base[bytecode.OpAdd] = dAdd
+	base[bytecode.OpSub] = dSub
+	base[bytecode.OpMul] = dMul
+	base[bytecode.OpDiv] = dDiv
+	base[bytecode.OpMod] = dMod
+	base[bytecode.OpEq] = dEq
+	base[bytecode.OpNe] = dNe
+	base[bytecode.OpLt] = dLt
+	base[bytecode.OpLe] = dLe
+	base[bytecode.OpGt] = dGt
+	base[bytecode.OpGe] = dGe
+	base[bytecode.OpNeg] = dNeg
+	base[bytecode.OpNot] = dNot
+	base[bytecode.OpJmp] = dJmp
+	base[bytecode.OpJmpFalse] = dJmpFalse
+	base[bytecode.OpJmpTrue] = dJmpTrue
+	base[bytecode.OpSemP] = dSemP
+	base[bytecode.OpSemV] = dSemV
+
+	runOps = base
+	runOps[bytecode.OpLoadGlobal] = dLoadGlobalRun
+	runOps[bytecode.OpStoreGlobal] = dStoreGlobalRun
+	runOps[bytecode.OpStoreIndexedL] = dStoreIndexedLRun
+	runOps[bytecode.OpLoadIndexedG] = dLoadIndexedGRun
+	runOps[bytecode.OpStoreIndexedG] = dStoreIndexedGRun
+	runOps[bytecode.OpPrelog] = dNop
+	runOps[bytecode.OpPostlog] = dNop
+	runOps[bytecode.OpShPrelog] = dNop
+
+	logOps = base
+	logOps[bytecode.OpLoadGlobal] = dLoadGlobalLog
+	logOps[bytecode.OpStoreGlobal] = dStoreGlobalLog
+	logOps[bytecode.OpStoreIndexedL] = dStoreIndexedLLog
+	logOps[bytecode.OpLoadIndexedG] = dLoadIndexedGLog
+	logOps[bytecode.OpStoreIndexedG] = dStoreIndexedGLog
+	logOps[bytecode.OpPrelog] = dPrelog
+	logOps[bytecode.OpPostlog] = dPostlog
+	logOps[bytecode.OpShPrelog] = dShPrelog
+
+	var sbase superTable
+	sbase[bytecode.SuperNone] = sNone
+	sbase[bytecode.SuperLLBinS] = sLLBinS
+	sbase[bytecode.SuperLCBinS] = sLCBinS
+	sbase[bytecode.SuperLLCmpJf] = sLLCmpJf
+	sbase[bytecode.SuperLCCmpJf] = sLCCmpJf
+	sbase[bytecode.SuperLLBin] = sLLBin
+	sbase[bytecode.SuperLCBin] = sLCBin
+	sbase[bytecode.SuperLBin] = sLBin
+	sbase[bytecode.SuperCBin] = sCBin
+	sbase[bytecode.SuperConstStoreL] = sConstStoreL
+	sbase[bytecode.SuperCmpJf] = sCmpJf
+
+	runSups = sbase
+	runSups[bytecode.SuperLGBin] = sLGBinRun
+	runSups[bytecode.SuperLGCmpJf] = sLGCmpJfRun
+
+	logSups = sbase
+	logSups[bytecode.SuperLGBin] = sLGBinLog
+	logSups[bytecode.SuperLGCmpJf] = sLGCmpJfLog
+}
+
+// dCold hands the instruction to the generic step — the same fallback the
+// switch loops used for calls, returns, spawns, sync, printing, and
+// unknown opcodes.
+func dCold(d *dispatch, _ *bytecode.Instr) {
+	d.pc--
+	d.f.PC, d.f.Stack = d.pc, d.stack
+	v := d.v
+	v.stepT(d.p, false)
+	if v.Failure != nil || d.p.Status != StatusReady {
+		d.sig = sigExit
+		return
+	}
+	d.sig = sigReload
+}
+
+func dNop(_ *dispatch, _ *bytecode.Instr) {}
+
+func dConst(d *dispatch, in *bytecode.Instr) {
+	d.stack = append(d.stack, int64(in.A))
+}
+
+func dPop(d *dispatch, _ *bytecode.Instr) {
+	d.stack = d.stack[:len(d.stack)-1]
+}
+
+func dLoadLocal(d *dispatch, in *bytecode.Instr) {
+	d.stack = append(d.stack, d.slots[in.A].Int)
+}
+
+func dStoreLocal(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	d.slots[in.A] = Value{Int: d.stack[n]}
+	d.stack = d.stack[:n]
+}
+
+func dLoadGlobalRun(d *dispatch, in *bytecode.Instr) {
+	d.stack = append(d.stack, d.v.Globals[in.A].Int)
+}
+
+func dLoadGlobalLog(d *dispatch, in *bytecode.Instr) {
+	d.stack = append(d.stack, d.v.Globals[in.A].Int)
+	if d.v.shared[in.A] {
+		d.p.reads.Add(in.A)
+	}
+}
+
+func dStoreGlobalRun(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	d.v.Globals[in.A] = Value{Int: d.stack[n]}
+	d.stack = d.stack[:n]
+}
+
+func dStoreGlobalLog(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	d.v.Globals[in.A] = Value{Int: d.stack[n]}
+	d.stack = d.stack[:n]
+	if d.v.shared[in.A] {
+		d.p.writes.Add(in.A)
+	}
+}
+
+// indexFail writes back the interpreter state and reports an out-of-range
+// index (operands already popped, matching the switch loops' fail sites).
+func (d *dispatch) indexFail(in *bytecode.Instr, i int64, n int) {
+	d.f.PC, d.f.Stack = d.pc, d.stack
+	d.v.fail(d.p, in.Stmt, "array index %d out of range [0,%d)", i, n)
+	d.sig = sigExit
+}
+
+func dLoadIndexedL(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	i := d.stack[n]
+	d.stack = d.stack[:n]
+	arr := d.slots[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+}
+
+func dStoreIndexedLRun(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	val, i := d.stack[n-1], d.stack[n-2]
+	d.stack = d.stack[:n-2]
+	arr := d.slots[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	arr[i] = val
+}
+
+func dStoreIndexedLLog(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	val, i := d.stack[n-1], d.stack[n-2]
+	d.stack = d.stack[:n-2]
+	arr := d.slots[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	arr[i] = val
+	if d.f.arrSnap != nil {
+		d.f.arrSnap[in.A].dirty = true
+	}
+}
+
+func dLoadIndexedGRun(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	i := d.stack[n]
+	d.stack = d.stack[:n]
+	arr := d.v.Globals[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+}
+
+func dLoadIndexedGLog(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	i := d.stack[n]
+	d.stack = d.stack[:n]
+	arr := d.v.Globals[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+	if d.v.shared[in.A] {
+		d.p.reads.Add(in.A)
+	}
+}
+
+func dStoreIndexedGRun(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	val, i := d.stack[n-1], d.stack[n-2]
+	d.stack = d.stack[:n-2]
+	arr := d.v.Globals[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	arr[i] = val
+}
+
+func dStoreIndexedGLog(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	val, i := d.stack[n-1], d.stack[n-2]
+	d.stack = d.stack[:n-2]
+	arr := d.v.Globals[in.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.indexFail(in, i, len(arr))
+		return
+	}
+	arr[i] = val
+	if d.v.shared[in.A] {
+		d.p.writes.Add(in.A)
+	}
+	d.v.gDirty[in.A] = true
+}
+
+func dAdd(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] += d.stack[n-1]
+	d.stack = d.stack[:n-1]
+}
+
+func dSub(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] -= d.stack[n-1]
+	d.stack = d.stack[:n-1]
+}
+
+func dMul(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] *= d.stack[n-1]
+	d.stack = d.stack[:n-1]
+}
+
+func dDiv(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	if d.stack[n-1] == 0 {
+		d.stack = d.stack[:n-2]
+		d.f.PC, d.f.Stack = d.pc, d.stack
+		d.v.fail(d.p, in.Stmt, "division by zero")
+		d.sig = sigExit
+		return
+	}
+	d.stack[n-2] /= d.stack[n-1]
+	d.stack = d.stack[:n-1]
+}
+
+func dMod(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack)
+	if d.stack[n-1] == 0 {
+		d.stack = d.stack[:n-2]
+		d.f.PC, d.f.Stack = d.pc, d.stack
+		d.v.fail(d.p, in.Stmt, "modulo by zero")
+		d.sig = sigExit
+		return
+	}
+	d.stack[n-2] %= d.stack[n-1]
+	d.stack = d.stack[:n-1]
+}
+
+func dEq(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] == d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dNe(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] != d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dLt(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] < d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dLe(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] <= d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dGt(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] > d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dGe(d *dispatch, _ *bytecode.Instr) {
+	n := len(d.stack)
+	d.stack[n-2] = b2i(d.stack[n-2] >= d.stack[n-1])
+	d.stack = d.stack[:n-1]
+}
+
+func dNeg(d *dispatch, _ *bytecode.Instr) {
+	d.stack[len(d.stack)-1] = -d.stack[len(d.stack)-1]
+}
+
+func dNot(d *dispatch, _ *bytecode.Instr) {
+	d.stack[len(d.stack)-1] = b2i(d.stack[len(d.stack)-1] == 0)
+}
+
+func dJmp(d *dispatch, in *bytecode.Instr) {
+	d.pc = in.A
+}
+
+func dJmpFalse(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	c := d.stack[n]
+	d.stack = d.stack[:n]
+	if c == 0 {
+		d.pc = in.A
+	}
+}
+
+func dJmpTrue(d *dispatch, in *bytecode.Instr) {
+	n := len(d.stack) - 1
+	c := d.stack[n]
+	d.stack = d.stack[:n]
+	if c != 0 {
+		d.pc = in.A
+	}
+}
+
+func dPrelog(d *dispatch, in *bytecode.Instr) {
+	d.v.emitPrelog(d.p, in.A, in.Stmt)
+}
+
+func dPostlog(d *dispatch, in *bytecode.Instr) {
+	// the emitter reads the return value off the operand stack
+	d.f.Stack = d.stack
+	d.v.emitPostlog(d.p, in.A, in.B == 1, in.Stmt)
+}
+
+func dShPrelog(d *dispatch, in *bytecode.Instr) {
+	d.v.emitShPrelog(d.p, d.f.Fn, in.A)
+}
+
+// dSemP is the non-blocking P fast path: when the semaphore's count is
+// positive, the operation completes inline — same gsn allocation, same
+// §6.2.1 pendingV pairing, and (under ModeLog) the same sync record as
+// execSemP's fast case. A zero count or a bad object falls back to the
+// oracle, which blocks or fails identically to before.
+func dSemP(d *dispatch, in *bytecode.Instr) {
+	v := d.v
+	s := v.sems[in.A]
+	if s == nil || s.count <= 0 {
+		dCold(d, in)
+		return
+	}
+	s.count--
+	gsn := v.nextGsn()
+	var from uint64
+	if s.pendingVGsn != 0 && s.pendingVPid != d.p.PID {
+		from = s.pendingVGsn
+	}
+	s.pendingVGsn, s.pendingVPid = 0, -1
+	v.logSyncEvent(d.p, logging.OpP, in.A, in.Stmt, gsn, from, s.count)
+}
+
+// dSemV is the no-waiter V fast path; a V with waiters (direct handoff to
+// a blocked P, which mutates the ready queue) takes the cold path.
+func dSemV(d *dispatch, in *bytecode.Instr) {
+	v := d.v
+	s := v.sems[in.A]
+	if s == nil || len(s.waiters) > 0 {
+		dCold(d, in)
+		return
+	}
+	gsn := v.nextGsn()
+	v.logSyncEvent(d.p, logging.OpV, in.A, in.Stmt, gsn, 0, s.count)
+	s.count++
+	if s.count == 1 {
+		s.pendingVGsn, s.pendingVPid = gsn, d.p.PID
+	} else {
+		s.pendingVGsn, s.pendingVPid = 0, -1
+	}
+}

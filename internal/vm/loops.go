@@ -2,7 +2,6 @@ package vm
 
 import (
 	"ppd/internal/ast"
-	"ppd/internal/bytecode"
 )
 
 // Mode-specialized interpreter loops.
@@ -11,23 +10,22 @@ import (
 // mode is running, whether a breakpoint is armed, and whether the process is
 // traced. None of them can change mid-execution, so New decides a sliceKind
 // once and loop() dispatches each scheduling slice straight into a loop with
-// those answers baked in. ModeRun and ModeLog additionally keep the top
-// frame's PC and operand stack in locals across instructions, inline the hot
-// opcodes, and fall back to the generic step only for the cold ones (calls,
-// returns, spawns, synchronization, printing) — after which the cached frame
-// state is reloaded, since the top frame may have changed.
+// those answers baked in. ModeRun and ModeLog run through the table-driven
+// dispatcher (dispatch.go): per-opcode func-value tables plus the
+// superinstruction side table, with the generic step as the cold-path oracle
+// for calls, returns, spawns, blocking synchronization, and printing.
 //
-// The specialized loops must be behaviorally identical to runSliceGeneric:
+// The specialized paths must be behaviorally identical to runSliceGeneric:
 // same step counts, same failure sites, and byte-identical ModeLog output
-// (pinned by TestLogGoldenByteIdentical).
+// (pinned by TestLogGoldenByteIdentical and the fused-vs-unfused matrix).
 
 // sliceKind selects the per-slice interpreter loop.
 type sliceKind int
 
 const (
 	sliceGeneric sliceKind = iota // breakpoints, emulation: full per-step checks
-	sliceRun                      // ModeRun, no breakpoint
-	sliceLog                      // ModeLog, no breakpoint
+	sliceRun                      // ModeRun, no breakpoint: dispatch tables
+	sliceLog                      // ModeLog, no breakpoint: dispatch tables
 	sliceTrace                    // ModeFullTrace, no breakpoint
 )
 
@@ -79,395 +77,4 @@ func (v *VM) runSliceTrace(p *Proc) {
 			return
 		}
 	}
-}
-
-// runSliceRun is the uninstrumented loop: no logging, no tracing, no
-// breakpoints. PC and the operand stack live in locals; instrumentation
-// markers are pure no-ops.
-func (v *VM) runSliceRun(p *Proc) {
-	f := p.top()
-	code := f.Fn.Code
-	slots := f.Slots
-	stack := f.Stack
-	pc := f.PC
-
-	for q := 0; q < v.Opts.Quantum; q++ {
-		v.Steps++
-		if v.Steps > v.Opts.MaxSteps {
-			f.PC, f.Stack = pc, stack
-			v.fail(p, ast.NoStmt, "instruction budget exhausted")
-			return
-		}
-		if pc >= len(code) {
-			f.PC, f.Stack = pc, stack
-			v.fail(p, ast.NoStmt, "pc out of range in %s", f.Fn.Name)
-			return
-		}
-		in := &code[pc]
-		pc++
-
-		switch in.Op {
-		case bytecode.OpNop, bytecode.OpPrelog, bytecode.OpPostlog, bytecode.OpShPrelog:
-			// instrumentation markers cost nothing when not logging
-
-		case bytecode.OpConst:
-			stack = append(stack, int64(in.A))
-		case bytecode.OpPop:
-			stack = stack[:len(stack)-1]
-
-		case bytecode.OpLoadLocal:
-			stack = append(stack, slots[in.A].Int)
-		case bytecode.OpStoreLocal:
-			slots[in.A] = Value{Int: stack[len(stack)-1]}
-			stack = stack[:len(stack)-1]
-		case bytecode.OpLoadGlobal:
-			stack = append(stack, v.Globals[in.A].Int)
-		case bytecode.OpStoreGlobal:
-			v.Globals[in.A] = Value{Int: stack[len(stack)-1]}
-			stack = stack[:len(stack)-1]
-
-		case bytecode.OpLoadIndexedL:
-			i := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			arr := slots[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			stack = append(stack, arr[i])
-		case bytecode.OpStoreIndexedL:
-			n := len(stack)
-			val, i := stack[n-1], stack[n-2]
-			stack = stack[:n-2]
-			arr := slots[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			arr[i] = val
-		case bytecode.OpLoadIndexedG:
-			i := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			arr := v.Globals[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			stack = append(stack, arr[i])
-		case bytecode.OpStoreIndexedG:
-			n := len(stack)
-			val, i := stack[n-1], stack[n-2]
-			stack = stack[:n-2]
-			arr := v.Globals[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			arr[i] = val
-
-		case bytecode.OpAdd:
-			n := len(stack)
-			stack[n-2] += stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpSub:
-			n := len(stack)
-			stack[n-2] -= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpMul:
-			n := len(stack)
-			stack[n-2] *= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpDiv:
-			n := len(stack)
-			if stack[n-1] == 0 {
-				stack = stack[:n-2]
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "division by zero")
-				return
-			}
-			stack[n-2] /= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpMod:
-			n := len(stack)
-			if stack[n-1] == 0 {
-				stack = stack[:n-2]
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "modulo by zero")
-				return
-			}
-			stack[n-2] %= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpEq:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] == stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpNe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] != stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpLt:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] < stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpLe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] <= stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpGt:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] > stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpGe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] >= stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpNeg:
-			stack[len(stack)-1] = -stack[len(stack)-1]
-		case bytecode.OpNot:
-			stack[len(stack)-1] = b2i(stack[len(stack)-1] == 0)
-
-		case bytecode.OpJmp:
-			pc = in.A
-		case bytecode.OpJmpFalse:
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if c == 0 {
-				pc = in.A
-			}
-		case bytecode.OpJmpTrue:
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if c != 0 {
-				pc = in.A
-			}
-
-		default:
-			// Cold op (call/ret/spawn/sync/print): hand the instruction to
-			// the generic step, then re-cache the possibly-changed top frame.
-			pc--
-			f.PC, f.Stack = pc, stack
-			v.stepT(p, false)
-			if v.Failure != nil || p.Status != StatusReady {
-				return
-			}
-			f = p.top()
-			code = f.Fn.Code
-			slots = f.Slots
-			stack = f.Stack
-			pc = f.PC
-		}
-	}
-	f.PC, f.Stack = pc, stack
-}
-
-// runSliceLog is the execution-phase loop (§4): runSliceRun plus shared-
-// variable READ/WRITE marking, array dirty bits, and the prelog/postlog/
-// shared-prelog emitters — everything else about the dispatch is identical,
-// which is what keeps the logs byte-identical to the generic loop's.
-func (v *VM) runSliceLog(p *Proc) {
-	f := p.top()
-	code := f.Fn.Code
-	slots := f.Slots
-	stack := f.Stack
-	pc := f.PC
-
-	for q := 0; q < v.Opts.Quantum; q++ {
-		v.Steps++
-		if v.Steps > v.Opts.MaxSteps {
-			f.PC, f.Stack = pc, stack
-			v.fail(p, ast.NoStmt, "instruction budget exhausted")
-			return
-		}
-		if pc >= len(code) {
-			f.PC, f.Stack = pc, stack
-			v.fail(p, ast.NoStmt, "pc out of range in %s", f.Fn.Name)
-			return
-		}
-		in := &code[pc]
-		pc++
-
-		switch in.Op {
-		case bytecode.OpNop:
-
-		case bytecode.OpConst:
-			stack = append(stack, int64(in.A))
-		case bytecode.OpPop:
-			stack = stack[:len(stack)-1]
-
-		case bytecode.OpLoadLocal:
-			stack = append(stack, slots[in.A].Int)
-		case bytecode.OpStoreLocal:
-			slots[in.A] = Value{Int: stack[len(stack)-1]}
-			stack = stack[:len(stack)-1]
-		case bytecode.OpLoadGlobal:
-			stack = append(stack, v.Globals[in.A].Int)
-			if v.shared[in.A] {
-				p.reads.Add(in.A)
-			}
-		case bytecode.OpStoreGlobal:
-			v.Globals[in.A] = Value{Int: stack[len(stack)-1]}
-			stack = stack[:len(stack)-1]
-			if v.shared[in.A] {
-				p.writes.Add(in.A)
-			}
-
-		case bytecode.OpLoadIndexedL:
-			i := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			arr := slots[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			stack = append(stack, arr[i])
-		case bytecode.OpStoreIndexedL:
-			n := len(stack)
-			val, i := stack[n-1], stack[n-2]
-			stack = stack[:n-2]
-			arr := slots[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			arr[i] = val
-			if f.arrSnap != nil {
-				f.arrSnap[in.A].dirty = true
-			}
-		case bytecode.OpLoadIndexedG:
-			i := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			arr := v.Globals[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			stack = append(stack, arr[i])
-			if v.shared[in.A] {
-				p.reads.Add(in.A)
-			}
-		case bytecode.OpStoreIndexedG:
-			n := len(stack)
-			val, i := stack[n-1], stack[n-2]
-			stack = stack[:n-2]
-			arr := v.Globals[in.A].Arr
-			if i < 0 || i >= int64(len(arr)) {
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "array index %d out of range [0,%d)", i, len(arr))
-				return
-			}
-			arr[i] = val
-			if v.shared[in.A] {
-				p.writes.Add(in.A)
-			}
-			v.gDirty[in.A] = true
-
-		case bytecode.OpAdd:
-			n := len(stack)
-			stack[n-2] += stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpSub:
-			n := len(stack)
-			stack[n-2] -= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpMul:
-			n := len(stack)
-			stack[n-2] *= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpDiv:
-			n := len(stack)
-			if stack[n-1] == 0 {
-				stack = stack[:n-2]
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "division by zero")
-				return
-			}
-			stack[n-2] /= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpMod:
-			n := len(stack)
-			if stack[n-1] == 0 {
-				stack = stack[:n-2]
-				f.PC, f.Stack = pc, stack
-				v.fail(p, in.Stmt, "modulo by zero")
-				return
-			}
-			stack[n-2] %= stack[n-1]
-			stack = stack[:n-1]
-		case bytecode.OpEq:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] == stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpNe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] != stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpLt:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] < stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpLe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] <= stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpGt:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] > stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpGe:
-			n := len(stack)
-			stack[n-2] = b2i(stack[n-2] >= stack[n-1])
-			stack = stack[:n-1]
-		case bytecode.OpNeg:
-			stack[len(stack)-1] = -stack[len(stack)-1]
-		case bytecode.OpNot:
-			stack[len(stack)-1] = b2i(stack[len(stack)-1] == 0)
-
-		case bytecode.OpJmp:
-			pc = in.A
-		case bytecode.OpJmpFalse:
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if c == 0 {
-				pc = in.A
-			}
-		case bytecode.OpJmpTrue:
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if c != 0 {
-				pc = in.A
-			}
-
-		case bytecode.OpPrelog:
-			v.emitPrelog(p, in.A, in.Stmt)
-		case bytecode.OpPostlog:
-			// the emitter reads the return value off the operand stack
-			f.Stack = stack
-			v.emitPostlog(p, in.A, in.B == 1, in.Stmt)
-		case bytecode.OpShPrelog:
-			v.emitShPrelog(p, f.Fn, in.A)
-
-		default:
-			// Cold op (call/ret/spawn/sync/print): hand the instruction to
-			// the generic step, then re-cache the possibly-changed top frame.
-			pc--
-			f.PC, f.Stack = pc, stack
-			v.stepT(p, false)
-			if v.Failure != nil || p.Status != StatusReady {
-				return
-			}
-			f = p.top()
-			code = f.Fn.Code
-			slots = f.Slots
-			stack = f.Stack
-			pc = f.PC
-		}
-	}
-	f.PC, f.Stack = pc, stack
 }

@@ -1,0 +1,141 @@
+package vm
+
+import "ppd/internal/bytecode"
+
+// Superinstruction handlers. Each executes a whole fused sequence
+// (bytecode.Fuse) in one dispatch; the driver has already charged the
+// sequence's width against the step counter and the quantum and advanced
+// the pc past it, so a handler only touches data (and, for the
+// compare-and-branch shapes, rewrites the pc on a taken branch). Every
+// shape is infallible by construction — Div/Mod appear only with a
+// non-zero constant operand — so handlers never write back state or set
+// dispatch.sig.
+
+// superApply evaluates x ∘ y for the fused binop/compare set.
+func superApply(op bytecode.Op, x, y int64) int64 {
+	switch op {
+	case bytecode.OpAdd:
+		return x + y
+	case bytecode.OpSub:
+		return x - y
+	case bytecode.OpMul:
+		return x * y
+	case bytecode.OpDiv:
+		return x / y
+	case bytecode.OpMod:
+		return x % y
+	case bytecode.OpEq:
+		return b2i(x == y)
+	case bytecode.OpNe:
+		return b2i(x != y)
+	case bytecode.OpLt:
+		return b2i(x < y)
+	case bytecode.OpLe:
+		return b2i(x <= y)
+	case bytecode.OpGt:
+		return b2i(x > y)
+	case bytecode.OpGe:
+		return b2i(x >= y)
+	}
+	return 0
+}
+
+// superCmp evaluates the compare shapes' predicate directly as a bool.
+func superCmp(op bytecode.Op, x, y int64) bool {
+	switch op {
+	case bytecode.OpEq:
+		return x == y
+	case bytecode.OpNe:
+		return x != y
+	case bytecode.OpLt:
+		return x < y
+	case bytecode.OpLe:
+		return x <= y
+	case bytecode.OpGt:
+		return x > y
+	case bytecode.OpGe:
+		return x >= y
+	}
+	return false
+}
+
+// sNone is never dispatched (the driver skips SuperNone entries); it fills
+// table slot 0.
+func sNone(_ *dispatch, _ *bytecode.SuperInstr) {}
+
+func sLLBinS(d *dispatch, s *bytecode.SuperInstr) {
+	d.slots[s.C] = Value{Int: superApply(s.Bin, d.slots[s.A].Int, d.slots[s.B].Int)}
+}
+
+func sLCBinS(d *dispatch, s *bytecode.SuperInstr) {
+	d.slots[s.C] = Value{Int: superApply(s.Bin, d.slots[s.A].Int, s.K)}
+}
+
+func sLLBin(d *dispatch, s *bytecode.SuperInstr) {
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, d.slots[s.B].Int))
+}
+
+func sLCBin(d *dispatch, s *bytecode.SuperInstr) {
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, s.K))
+}
+
+func sLGBinRun(d *dispatch, s *bytecode.SuperInstr) {
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, d.v.Globals[s.B].Int))
+}
+
+func sLGBinLog(d *dispatch, s *bytecode.SuperInstr) {
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, d.v.Globals[s.B].Int))
+	if d.v.shared[s.B] {
+		d.p.reads.Add(s.B)
+	}
+}
+
+func sLBin(d *dispatch, s *bytecode.SuperInstr) {
+	n := len(d.stack) - 1
+	d.stack[n] = superApply(s.Bin, d.stack[n], d.slots[s.A].Int)
+}
+
+func sCBin(d *dispatch, s *bytecode.SuperInstr) {
+	n := len(d.stack) - 1
+	d.stack[n] = superApply(s.Bin, d.stack[n], s.K)
+}
+
+func sConstStoreL(d *dispatch, s *bytecode.SuperInstr) {
+	d.slots[s.A] = Value{Int: s.K}
+}
+
+func sLLCmpJf(d *dispatch, s *bytecode.SuperInstr) {
+	if !superCmp(s.Bin, d.slots[s.A].Int, d.slots[s.B].Int) {
+		d.pc = s.T
+	}
+}
+
+func sLCCmpJf(d *dispatch, s *bytecode.SuperInstr) {
+	if !superCmp(s.Bin, d.slots[s.A].Int, s.K) {
+		d.pc = s.T
+	}
+}
+
+func sLGCmpJfRun(d *dispatch, s *bytecode.SuperInstr) {
+	if !superCmp(s.Bin, d.slots[s.A].Int, d.v.Globals[s.B].Int) {
+		d.pc = s.T
+	}
+}
+
+func sLGCmpJfLog(d *dispatch, s *bytecode.SuperInstr) {
+	if !superCmp(s.Bin, d.slots[s.A].Int, d.v.Globals[s.B].Int) {
+		d.pc = s.T
+	}
+	if d.v.shared[s.B] {
+		d.p.reads.Add(s.B)
+	}
+}
+
+func sCmpJf(d *dispatch, s *bytecode.SuperInstr) {
+	n := len(d.stack)
+	x, y := d.stack[n-2], d.stack[n-1]
+	d.stack = d.stack[:n-2]
+	if !superCmp(s.Bin, x, y) {
+		d.pc = s.T
+	}
+}

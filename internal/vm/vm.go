@@ -86,6 +86,14 @@ type Options struct {
 	// instruction loop is identical either way (the VM always counts into
 	// plain fields and never touches the sink per instruction).
 	Obs *obs.Sink
+
+	// OpProfile, when non-nil, collects the per-opcode / per-pair /
+	// per-superinstruction dispatch histogram that feeds the profile-guided
+	// fusion table (`ppd stats -ops`). Profiling runs through a separate
+	// copy of the dispatch driver, so a nil OpProfile costs nothing. Only
+	// the table-driven paths count (ModeRun/ModeLog without a breakpoint);
+	// the profile must not be shared between concurrently running VMs.
+	OpProfile *obs.OpStats
 }
 
 // Status is a process's scheduling state.
@@ -253,6 +261,14 @@ type VM struct {
 	// decided per scheduling slice, not per step.
 	sliceKind sliceKind
 
+	// ops/sups are the mode's dispatch tables (dispatch.go), resolved once
+	// at New; disp is the reusable dispatcher state (no per-slice
+	// allocation); prof mirrors Opts.OpProfile for the profiled driver.
+	ops  *opTable
+	sups *superTable
+	disp dispatch
+	prof *obs.OpStats
+
 	// shared mirrors Prog.Globals[i].Shared as a dense bool slice so the
 	// ModeLog hot loop's read/write marking is one index, not a struct
 	// field chase (ModeLog only).
@@ -321,6 +337,16 @@ func New(prog *bytecode.Program, opts Options) *VM {
 		v.Trace = &trace.Program{}
 	}
 	v.sliceKind = pickSliceKind(v.Opts)
+	switch v.sliceKind {
+	case sliceRun:
+		tablesOnce.Do(buildDispatchTables)
+		v.ops, v.sups = &runOps, &runSups
+		v.prof = opts.OpProfile
+	case sliceLog:
+		tablesOnce.Do(buildDispatchTables)
+		v.ops, v.sups = &logOps, &logSups
+		v.prof = opts.OpProfile
+	}
 	return v
 }
 
@@ -538,10 +564,12 @@ func (v *VM) loop() error {
 		// at New (loops.go), so the per-instruction mode/trace/break
 		// predicates are not re-evaluated inside the dispatch path.
 		switch v.sliceKind {
-		case sliceRun:
-			v.runSliceRun(p)
-		case sliceLog:
-			v.runSliceLog(p)
+		case sliceRun, sliceLog:
+			if v.prof != nil {
+				v.runSliceTabProf(p)
+			} else {
+				v.runSliceTab(p)
+			}
 		case sliceTrace:
 			v.runSliceTrace(p)
 		default:

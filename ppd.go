@@ -35,6 +35,7 @@ import (
 
 	"ppd/internal/analysis"
 	"ppd/internal/ast"
+	"ppd/internal/bytecode"
 	"ppd/internal/compile"
 	"ppd/internal/controller"
 	"ppd/internal/debugger"
@@ -81,6 +82,10 @@ type (
 	VetResult = analysis.Result
 	// Diagnostic is one static-analysis finding with its source position.
 	Diagnostic = analysis.Diagnostic
+	// OpStats is the dispatch histogram collected by Program.ProfileOps:
+	// per-opcode and opcode-pair execution counts plus superinstruction
+	// hits (`ppd stats -ops`). It feeds the profile-guided fusion table.
+	OpStats = obs.OpStats
 )
 
 // Options configures an execution.
@@ -113,6 +118,13 @@ type Options struct {
 	// skips the whole pipeline. Empty falls back to the PPD_CACHE_DIR
 	// environment variable; empty both ways disables caching.
 	CacheDir string
+	// NoFusion disables the bytecode fusion pass for CompileOpts: the
+	// program runs on plain single-opcode dispatch. The observable
+	// behavior — output, logs, races, vet — is identical either way; the
+	// switch exists for measurement (`ppdbench dispatch`) and as an
+	// escape hatch. Fused and unfused compiles never share a persistent
+	// cache entry (the fusion fingerprint is part of the cache key).
+	NoFusion bool
 	// LogSink, when non-nil, streams the execution log during RunLogged:
 	// each record is encoded in PPD's binary format as it is produced and
 	// its memory recycled, so a long run retains compact encoded bytes
@@ -175,7 +187,11 @@ func CompileWithConfig(filename, src string, cfg BlockConfig) (*Program, error) 
 // query; Run, RunLogged, and Vet work immediately off the cached bytecode.
 func CompileOpts(filename, src string, cfg BlockConfig, opts Options) (*Program, error) {
 	sink := obs.New()
-	art, err := compile.CompileCached(source.NewFile(filename, src), cfg, cacheDir(opts), opts.Workers, sink)
+	tab := bytecode.DefaultFusionTable()
+	if opts.NoFusion {
+		tab = nil
+	}
+	art, err := compile.CompileCachedFused(source.NewFile(filename, src), cfg, cacheDir(opts), opts.Workers, tab, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +233,23 @@ func (p *Program) Run(opts Options) error {
 	}
 	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeRun, nil))
 	return v.Run()
+}
+
+// ProfileOps executes without instrumentation actions while collecting the
+// dispatch histogram: how often each opcode ran, which opcode pairs were
+// dynamically adjacent, and how many times each superinstruction fired.
+// The profile is what the fusion table is regenerated from; `ppd stats
+// -ops` renders it. Run errors are reported alongside the (still valid)
+// partial profile.
+func (p *Program) ProfileOps(opts Options) (*OpStats, error) {
+	if err := opts.validate(p.art); err != nil {
+		return nil, err
+	}
+	st := obs.NewOpStats(int(bytecode.NumOps), int(bytecode.NumSuperOps))
+	vo := vmOptions(opts, vm.ModeRun, nil)
+	vo.OpProfile = st
+	v := vm.New(p.art.Prog, vo)
+	return st, v.Run()
 }
 
 // RunLogged executes the paper's execution phase, producing the log the
