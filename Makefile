@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch serve serve-smoke
 
 all: build
 
@@ -63,8 +63,19 @@ vet-mpl: build
 	fi
 	@echo "vet-mpl: OK"
 
-ci: check cover bench-smoke vet-mpl cache-check
+ci: check cover bench-smoke vet-mpl cache-check serve-smoke
 	@echo "ci: OK"
+
+# Daemon liveness gate: start `ppd serve` on an ephemeral port, drive one
+# session through the whole HTTP surface (create → races → flowback →
+# what-if → metrics → delete), and shut down cleanly.
+serve-smoke: build
+	$(GO) run ./cmd/ppd serve -smoke
+	@echo "serve-smoke: OK"
+
+# Regenerate the E19 serving-daemon load-test table (writes BENCH_serve.json).
+serve: build
+	$(GO) run ./cmd/ppdbench serve
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -56,6 +56,8 @@ func main() {
 		err = cmdVet(args)
 	case "stats":
 		err = cmdStats(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -84,6 +86,9 @@ commands:
             (flags: -seed -quantum -json -trace -cache-dir DIR); with
             -ops, profile dispatch instead: opcode / opcode-pair /
             superinstruction execution counts (feeds the fusion table)
+  serve     start the multi-session debugging daemon (flags: -addr
+            -cache-dir DIR -ttl -max-sessions -workers -queue); with
+            -smoke, self-test one session end-to-end and exit
 `)
 }
 

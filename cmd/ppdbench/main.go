@@ -21,6 +21,9 @@
 //	ppdbench dispatch     E18 superinstruction fusion + table dispatch:
 //	                      fused vs unfused interpretation under ModeRun
 //	                      and ModeLog (also writes BENCH_dispatch.json)
+//	ppdbench serve        E19 multi-session daemon under load: concurrent
+//	                      sessions over HTTP, shared artifact cache, race-
+//	                      report identity (also writes BENCH_serve.json)
 //	ppdbench all          everything
 package main
 
@@ -78,6 +81,7 @@ func main() {
 	run("vetprune", vetprune)
 	run("compilecache", compilecache)
 	run("dispatch", dispatch)
+	run("serve", serveBench)
 }
 
 // timeRun executes the program under the given mode and returns the best-

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ppd"
+	"ppd/internal/server"
+	"ppd/internal/workloads"
+)
+
+// serveBench is E19: the multi-session daemon under load. It starts the
+// serving stack over real HTTP, opens serveSessions concurrent sessions
+// round-robin over the standard workloads plus a racy counter, and drives
+// each through create → races → flowback → delete, recording per-
+// operation latency. Because every session compiles through one shared
+// artifact cache, only the first session per distinct source pays a
+// compile; /metrics is scraped afterwards to report the hit rate. The
+// racy sessions' race reports are compared byte-for-byte against the
+// single-process ppd.OpenSession oracle for the same (source, seed,
+// quantum) — the daemon must add concurrency, not nondeterminism.
+// Writes BENCH_serve.json.
+const serveSessions = 120
+
+func serveBench(w io.Writer) {
+	fmt.Fprintln(w, "=== E19: multi-session serving daemon under load ===")
+
+	cacheDir, err := os.MkdirTemp("", "ppdbench-serve")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	srv := server.New(server.Config{
+		CacheDir:    cacheDir,
+		MaxSessions: 2 * serveSessions,
+		SessionTTL:  -1, // no janitor: the bench controls teardown
+		MaxQueue:    4 * serveSessions,
+	})
+	srv.Start()
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	call := func(method, path string, body, out any) error {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return err
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, data)
+		}
+		if out != nil {
+			return json.Unmarshal(data, out)
+		}
+		return nil
+	}
+
+	// The session mix: the four standard workloads plus a racy counter
+	// whose report the oracle check pins. quantum 1 makes the racy
+	// interleaving deterministic per seed and actually interleaved.
+	type variant struct {
+		name, src     string
+		seed          int64
+		quantum       int
+		checkIdentity bool
+	}
+	var variants []variant
+	for _, wl := range workloads.Standard() {
+		variants = append(variants, variant{name: wl.Name, src: wl.Src})
+	}
+	racy := workloads.RacyCounter(4, 30, false)
+	variants = append(variants, variant{
+		name: racy.Name, src: racy.Src, seed: 7, quantum: 1, checkIdentity: true,
+	})
+
+	// Single-process oracle for the racy variant's race report.
+	oracle := func(v variant) string {
+		sess, err := ppd.OpenSession(v.name+".mpl", v.src, ppd.Options{
+			Seed: v.seed, Quantum: v.quantum, CacheDir: cacheDir,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer sess.Close()
+		report, err := sess.RaceReport()
+		if err != nil {
+			panic(err)
+		}
+		return report
+	}
+	wantReport := oracle(variants[len(variants)-1])
+
+	type opLat struct {
+		mu sync.Mutex
+		ds []time.Duration
+	}
+	rec := func(l *opLat, d time.Duration) {
+		l.mu.Lock()
+		l.ds = append(l.ds, d)
+		l.mu.Unlock()
+	}
+	var latCreate, latRaces, latFlowback opLat
+	var identityMismatches, failures int64
+	var failMu sync.Mutex
+	fail := func(err error) {
+		failMu.Lock()
+		failures++
+		if failures <= 3 {
+			fmt.Fprintf(w, "  session error: %v\n", err)
+		}
+		failMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < serveSessions; i++ {
+		v := variants[i%len(variants)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var created struct {
+				ID string `json:"id"`
+			}
+			t0 := time.Now()
+			if err := call("POST", "/v1/sessions", map[string]any{
+				"filename": v.name + ".mpl", "source": v.src,
+				"seed": v.seed, "quantum": v.quantum,
+			}, &created); err != nil {
+				fail(err)
+				return
+			}
+			rec(&latCreate, time.Since(t0))
+
+			var races struct {
+				Report string `json:"report"`
+			}
+			t0 = time.Now()
+			if err := call("GET", "/v1/sessions/"+created.ID+"/races", nil, &races); err != nil {
+				fail(err)
+				return
+			}
+			rec(&latRaces, time.Since(t0))
+			if v.checkIdentity && races.Report != wantReport {
+				failMu.Lock()
+				identityMismatches++
+				failMu.Unlock()
+			}
+
+			t0 = time.Now()
+			if err := call("POST", "/v1/sessions/"+created.ID+"/flowback",
+				map[string]any{"pid": 0, "depth": 3}, nil); err != nil {
+				fail(err)
+				return
+			}
+			rec(&latFlowback, time.Since(t0))
+
+			if err := call("DELETE", "/v1/sessions/"+created.ID, nil, nil); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := call("GET", "/metrics", nil, &metrics); err != nil {
+		panic(err)
+	}
+	hits := metrics.Counters["compile.cache.hits"]
+	misses := metrics.Counters["compile.cache.misses"]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	pct := func(l *opLat, p float64) time.Duration {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if len(l.ds) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), l.ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+
+	type row struct {
+		GoVersion          string  `json:"go_version"`
+		Gomaxprocs         int     `json:"gomaxprocs"`
+		Sessions           int     `json:"sessions"`
+		Failures           int64   `json:"failures"`
+		IdentityMismatches int64   `json:"identity_mismatches"`
+		WallNs             int64   `json:"wall_ns"`
+		CreateP50Ns        int64   `json:"create_p50_ns"`
+		CreateP99Ns        int64   `json:"create_p99_ns"`
+		RacesP50Ns         int64   `json:"races_p50_ns"`
+		RacesP99Ns         int64   `json:"races_p99_ns"`
+		FlowbackP50Ns      int64   `json:"flowback_p50_ns"`
+		FlowbackP99Ns      int64   `json:"flowback_p99_ns"`
+		CacheHits          int64   `json:"compile_cache_hits"`
+		CacheMisses        int64   `json:"compile_cache_misses"`
+		CacheHitRate       float64 `json:"compile_cache_hit_rate"`
+	}
+	r := row{
+		GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0),
+		Sessions: serveSessions, Failures: failures,
+		IdentityMismatches: identityMismatches, WallNs: wall.Nanoseconds(),
+		CreateP50Ns:   pct(&latCreate, 0.50).Nanoseconds(),
+		CreateP99Ns:   pct(&latCreate, 0.99).Nanoseconds(),
+		RacesP50Ns:    pct(&latRaces, 0.50).Nanoseconds(),
+		RacesP99Ns:    pct(&latRaces, 0.99).Nanoseconds(),
+		FlowbackP50Ns: pct(&latFlowback, 0.50).Nanoseconds(),
+		FlowbackP99Ns: pct(&latFlowback, 0.99).Nanoseconds(),
+		CacheHits:     hits, CacheMisses: misses, CacheHitRate: hitRate,
+	}
+
+	fmt.Fprintf(w, "%d concurrent sessions in %v (%d failure(s), %d identity mismatch(es))\n",
+		serveSessions, wall, failures, identityMismatches)
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "operation", "p50", "p99")
+	fmt.Fprintf(w, "%-10s %12v %12v\n", "create", pct(&latCreate, 0.50), pct(&latCreate, 0.99))
+	fmt.Fprintf(w, "%-10s %12v %12v\n", "races", pct(&latRaces, 0.50), pct(&latRaces, 0.99))
+	fmt.Fprintf(w, "%-10s %12v %12v\n", "flowback", pct(&latFlowback, 0.50), pct(&latFlowback, 0.99))
+	fmt.Fprintf(w, "artifact cache: %d hit(s), %d miss(es) (%.1f%% hit rate)\n",
+		hits, misses, 100*hitRate)
+	if failures > 0 || identityMismatches > 0 {
+		panic("serve bench: failures or race-report identity mismatches under load")
+	}
+
+	data, err := json.MarshalIndent([]row{r}, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_serve.json")
+}

@@ -1,0 +1,34 @@
+package ppd
+
+import "errors"
+
+// Sentinel errors of the session-centric API. Callers branch on them with
+// errors.Is; every error returned by this package that falls into one of
+// these classes wraps the corresponding sentinel, usually with detail
+// (which option field, which session ID). internal/server maps each class
+// to a stable HTTP status code — see the package doc of internal/server
+// for the table.
+var (
+	// ErrInvalidOptions wraps every Options validation failure. The
+	// message always names the offending field and its value, e.g.
+	// "Options.Quantum = -3".
+	ErrInvalidOptions = errors.New("ppd: invalid options")
+
+	// ErrSessionNotFound reports a session ID that is not (or no longer)
+	// live — never created, already closed, or expired by TTL eviction.
+	ErrSessionNotFound = errors.New("ppd: session not found")
+
+	// ErrSessionBusy reports a session-exclusive operation (re-run, close)
+	// attempted while another operation holds the session.
+	ErrSessionBusy = errors.New("ppd: session busy")
+
+	// ErrSessionClosed reports a query on a Session after Close: its
+	// emulation cache has been released and no further debugging-phase
+	// work is possible.
+	ErrSessionClosed = errors.New("ppd: session closed")
+
+	// ErrServerSaturated reports admission-control backpressure: the
+	// serving daemon's worker pool and its bounded queue are both full,
+	// or the session table is at capacity. Clients should retry later.
+	ErrServerSaturated = errors.New("ppd: server saturated")
+)

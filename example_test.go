@@ -39,6 +39,32 @@ func main() { spawn w(); P(done); }`)
 	// log bytes recorded: true
 }
 
+// ExampleOpenSession bundles all three phases behind one handle: compile,
+// logged run, and a what-if replay that patches a global before re-executing
+// the failing region. Close releases the emulation cache.
+func ExampleOpenSession() {
+	sess, err := ppd.OpenSession("crash.mpl", `
+var g = 1;
+func f(a int) int { g = g + a; return g * 2; }
+func main() { print(f(20) / (g - 21)); }`, ppd.Options{Output: io.Discard})
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+
+	fmt.Println("failed:", sess.Failed() != nil)
+	wi, err := sess.WhatIf(0, -1, "g", 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("original fails:", wi.Original.Err != nil)
+	fmt.Println("patched g=5 succeeds:", wi.Modified.Err == nil)
+	// Output:
+	// failed: true
+	// original fails: true
+	// patched g=5 succeeds: true
+}
+
 // ExampleOptions_trace streams phase-scope events while the execution and
 // debugging phases run. Each line carries an elapsed timestamp, so the
 // example checks for the scope markers rather than printing the stream.

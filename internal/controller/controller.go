@@ -160,6 +160,20 @@ func (c *Controller) SetCacheBound(n int) {
 	c.cEvicts.Add(int64(c.cache.setCap(n)))
 }
 
+// DropCache empties the interval cache, releasing every cached emulation
+// trace and dynamic graph, and returns the number of entries released.
+// The releases are reported as debug.cache.evictions. Session teardown
+// (Close, the serving daemon's TTL eviction) uses this to free the
+// debugging phase's memory without discarding the controller itself:
+// later queries still work, they just re-emulate.
+func (c *Controller) DropCache() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.cache.drop()
+	c.cEvicts.Add(int64(n))
+	return n
+}
+
 // Emulations returns the total number of VM re-executions performed across
 // all processes — the observable that proves cache hits skip the VM.
 func (c *Controller) Emulations() int64 {

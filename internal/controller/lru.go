@@ -77,4 +77,13 @@ func (c *intervalLRU) setCap(capacity int) int {
 	return c.evict()
 }
 
+// drop empties the cache unconditionally (the bound is unchanged) and
+// returns how many entries were released.
+func (c *intervalLRU) drop() int {
+	n := c.order.Len()
+	c.order.Init()
+	clear(c.items)
+	return n
+}
+
 func (c *intervalLRU) len() int { return c.order.Len() }

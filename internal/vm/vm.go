@@ -22,6 +22,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -94,6 +95,14 @@ type Options struct {
 	// the table-driven paths count (ModeRun/ModeLog without a breakpoint);
 	// the profile must not be shared between concurrently running VMs.
 	OpProfile *obs.OpStats
+
+	// Ctx, when non-nil, makes the run cancellable: the scheduler checks
+	// Ctx.Done() once per scheduling slice (never per instruction — the
+	// dispatch hot path is unchanged) and a cancelled run stops between
+	// slices, returning Ctx.Err() as an infrastructure error: no Failure
+	// or Deadlock is recorded, and the log holds everything appended up
+	// to the halt. nil disables the check entirely.
+	Ctx context.Context
 }
 
 // Status is a process's scheduling state.
@@ -518,7 +527,18 @@ func (v *VM) flushHaltedEdges() {
 
 func (v *VM) loop() error {
 	rr := 0
+	var done <-chan struct{}
+	if v.Opts.Ctx != nil {
+		done = v.Opts.Ctx.Done()
+	}
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return v.Opts.Ctx.Err()
+			default:
+			}
+		}
 		// Drop finished/blocked processes from the ready queue lazily.
 		live := v.ready[:0]
 		for _, p := range v.ready {

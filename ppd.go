@@ -15,20 +15,27 @@
 //     individual e-block intervals on demand; Execution.Races applies the
 //     happened-before race detector (Definitions 6.1–6.4).
 //
-// Quick start:
+// Quick start — a Session bundles all three phases behind one handle:
 //
-//	prog, err := ppd.Compile("demo.mpl", src)
-//	exec, err := prog.RunLogged(ppd.Options{})
-//	if exec.Failed() != nil {
-//	    sess, _ := exec.Debugger()
-//	    sess.Run(os.Stdin, os.Stdout)   // interactive flowback
+//	sess, err := ppd.OpenSession("demo.mpl", src, ppd.Options{})
+//	defer sess.Close()
+//	if sess.Failed() != nil {
+//	    report, _ := sess.RaceReport()
+//	    fmt.Print(report)
 //	}
+//
+// The lower-level Program/Execution surface remains available for callers
+// that need to separate the phases (compile once, run many seeds); the
+// long-running entry points all have Context variants that honor
+// cancellation. `ppd serve` (internal/server) exposes the session API as a
+// multi-session HTTP/JSON daemon.
 //
 // The examples/ directory contains runnable walkthroughs, and cmd/ppd is a
 // complete CLI over the same API.
 package ppd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -56,8 +63,10 @@ import (
 type (
 	// Controller is the PPD Controller: the debugging-phase coordinator.
 	Controller = controller.Controller
-	// Session is an interactive textual debugging session.
-	Session = debugger.Session
+	// InteractiveSession is an interactive textual debugging session
+	// (the `ppd debug` REPL). The name Session now belongs to the
+	// first-class debugging-session object — see OpenSession.
+	InteractiveSession = debugger.Session
 	// DynamicGraph is a dynamic program dependence graph.
 	DynamicGraph = dynpdg.Graph
 	// ParallelGraph is the parallel dynamic graph of one execution.
@@ -135,20 +144,28 @@ type Options struct {
 	LogSink io.Writer
 }
 
+// optionErr builds the one validation-error shape every branch of validate
+// uses: the sentinel (so errors.Is(err, ErrInvalidOptions) holds), the
+// offending field's name, its value, and the rule it broke.
+func optionErr(field string, value any, rule string) error {
+	return fmt.Errorf("%w: Options.%s = %v (%s)", ErrInvalidOptions, field, value, rule)
+}
+
 // validate rejects option values that would otherwise be silently coerced
-// into defaults. Zero always means "use the default".
+// into defaults. Zero always means "use the default". Every rejection
+// wraps ErrInvalidOptions and names the offending field and value.
 func (o Options) validate(art *compile.Artifacts) error {
 	if o.Quantum < 0 {
-		return fmt.Errorf("ppd: Quantum must be >= 0 (0 selects the default), got %d", o.Quantum)
+		return optionErr("Quantum", o.Quantum, "must be >= 0; 0 selects the default")
 	}
 	if o.MaxSteps < 0 {
-		return fmt.Errorf("ppd: MaxSteps must be >= 0 (0 selects the default), got %d", o.MaxSteps)
+		return optionErr("MaxSteps", o.MaxSteps, "must be >= 0; 0 selects the default")
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("ppd: Workers must be >= 0 (0 uses GOMAXPROCS), got %d", o.Workers)
+		return optionErr("Workers", o.Workers, "must be >= 0; 0 uses GOMAXPROCS")
 	}
 	if o.BreakAt < 0 {
-		return fmt.Errorf("ppd: BreakAt must be >= 0 (0 disables the breakpoint), got %d", o.BreakAt)
+		return optionErr("BreakAt", o.BreakAt, "must be >= 0; 0 disables the breakpoint")
 	}
 	if o.BreakAt > 0 {
 		// Statement numbers live in the program database; a cache-loaded
@@ -157,7 +174,8 @@ func (o Options) validate(art *compile.Artifacts) error {
 			return err
 		}
 		if art.DB.Stmt(ast.StmtID(o.BreakAt)) == nil {
-			return fmt.Errorf("ppd: BreakAt: no such statement s%d (see `ppd dump` for statement numbers)", o.BreakAt)
+			return optionErr("BreakAt", o.BreakAt,
+				fmt.Sprintf("no such statement s%d; see `ppd dump` for statement numbers", o.BreakAt))
 		}
 	}
 	return nil
@@ -170,6 +188,12 @@ type Program struct {
 }
 
 // Compile runs the preparatory phase with the default e-block configuration.
+//
+// Deprecated: Compile predates the session API. New code should use
+// OpenSession, which bundles compilation (through the shared artifact
+// cache), the logged run, and the debugging-phase controller behind one
+// closable handle; use CompileOpts when the phases must be driven
+// separately.
 func Compile(filename, src string) (*Program, error) {
 	return CompileWithConfig(filename, src, eblock.DefaultConfig())
 }
@@ -226,12 +250,19 @@ func (p *Program) Vet() *VetResult {
 }
 
 // Run executes without instrumentation actions and returns the run error
-// (nil, a runtime failure, or a deadlock).
+// (nil, a runtime failure, or a deadlock). It is RunContext without
+// cancellation.
 func (p *Program) Run(opts Options) error {
+	return p.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run honoring ctx: the scheduler checks for cancellation
+// once per scheduling slice, and a cancelled run returns ctx's error.
+func (p *Program) RunContext(ctx context.Context, opts Options) error {
 	if err := opts.validate(p.art); err != nil {
 		return err
 	}
-	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeRun, nil))
+	v := vm.New(p.art.Prog, vmOptions(ctx, opts, vm.ModeRun, nil))
 	return v.Run()
 }
 
@@ -242,11 +273,17 @@ func (p *Program) Run(opts Options) error {
 // -ops` renders it. Run errors are reported alongside the (still valid)
 // partial profile.
 func (p *Program) ProfileOps(opts Options) (*OpStats, error) {
+	return p.ProfileOpsContext(context.Background(), opts)
+}
+
+// ProfileOpsContext is ProfileOps honoring ctx; a cancelled run returns
+// the partial profile collected so far alongside ctx's error.
+func (p *Program) ProfileOpsContext(ctx context.Context, opts Options) (*OpStats, error) {
 	if err := opts.validate(p.art); err != nil {
 		return nil, err
 	}
 	st := obs.NewOpStats(int(bytecode.NumOps), int(bytecode.NumSuperOps))
-	vo := vmOptions(opts, vm.ModeRun, nil)
+	vo := vmOptions(ctx, opts, vm.ModeRun, nil)
 	vo.OpProfile = st
 	v := vm.New(p.art.Prog, vo)
 	return st, v.Run()
@@ -258,7 +295,19 @@ func (p *Program) ProfileOps(opts Options) (*OpStats, error) {
 // With Options.LogSink set, the log is streamed to the sink instead of
 // retained; a sink write failure on a run that otherwise succeeded is
 // returned as the error.
+//
+// Deprecated: RunLogged predates the session API. New code should use
+// OpenSession (one handle over all three phases) or, when the phases must
+// be driven separately, RunLoggedContext, which also honors cancellation.
 func (p *Program) RunLogged(opts Options) (*Execution, error) {
+	return p.RunLoggedContext(context.Background(), opts)
+}
+
+// RunLoggedContext is the execution phase honoring ctx: the scheduler
+// checks for cancellation once per scheduling slice, and a cancelled run
+// returns ctx's error (no Execution — cancellation is an infrastructure
+// outcome, not a program one).
+func (p *Program) RunLoggedContext(ctx context.Context, opts Options) (*Execution, error) {
 	if err := opts.validate(p.art); err != nil {
 		return nil, err
 	}
@@ -266,17 +315,17 @@ func (p *Program) RunLogged(opts Options) (*Execution, error) {
 	if opts.Trace != nil {
 		sink.SetTrace(opts.Trace)
 	}
-	v := vm.New(p.art.Prog, vmOptions(opts, vm.ModeLog, sink))
+	v := vm.New(p.art.Prog, vmOptions(ctx, opts, vm.ModeLog, sink))
 	runErr := v.Run()
 	e := &Execution{Program: p, vm: v, opts: opts, sink: sink}
 	if runErr != nil && v.Failure == nil && !v.Deadlock {
-		return nil, runErr // infrastructure error (budget exhausted, ...)
+		return nil, runErr // infrastructure error (cancelled, budget exhausted, ...)
 	}
 	return e, nil
 }
 
-func vmOptions(opts Options, mode vm.Mode, sink *obs.Sink) vm.Options {
-	return vm.Options{
+func vmOptions(ctx context.Context, opts Options, mode vm.Mode, sink *obs.Sink) vm.Options {
+	vo := vm.Options{
 		Mode:     mode,
 		Seed:     opts.Seed,
 		Quantum:  opts.Quantum,
@@ -286,6 +335,12 @@ func vmOptions(opts Options, mode vm.Mode, sink *obs.Sink) vm.Options {
 		LogSink:  opts.LogSink,
 		Obs:      sink,
 	}
+	// Only a cancellable context buys the per-slice check; Background and
+	// friends (Done() == nil) keep the scheduler loop untouched.
+	if ctx != nil && ctx.Done() != nil {
+		vo.Ctx = ctx
+	}
+	return vo
 }
 
 // Execution is one logged run of a Program.
@@ -375,7 +430,7 @@ func (e *Execution) Controller() *Controller {
 }
 
 // Debugger starts an interactive flowback session over this execution.
-func (e *Execution) Debugger() (*Session, error) {
+func (e *Execution) Debugger() (*InteractiveSession, error) {
 	return debugger.New(e.Controller())
 }
 

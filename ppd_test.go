@@ -2,6 +2,7 @@ package ppd
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -182,32 +183,60 @@ func main() {
 	}
 }
 
+// TestOptionsValidation pins the validation contract over every invalid
+// branch: the error wraps ErrInvalidOptions (errors.Is), and the message
+// names both the offending field and the offending value.
 func TestOptionsValidation(t *testing.T) {
 	prog, err := Compile("v.mpl", `func main() { print(1); }`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cases := []struct {
-		opts Options
-		want string
+		name  string
+		opts  Options
+		field string
+		value string
 	}{
-		{Options{Quantum: -1}, "Quantum"},
-		{Options{MaxSteps: -5}, "MaxSteps"},
-		{Options{Workers: -2}, "Workers"},
-		{Options{BreakAt: -1}, "BreakAt"},
-		{Options{BreakAt: 9999}, "no such statement"},
+		{"negative quantum", Options{Quantum: -1}, "Quantum", "-1"},
+		{"negative max steps", Options{MaxSteps: -5}, "MaxSteps", "-5"},
+		{"negative workers", Options{Workers: -2}, "Workers", "-2"},
+		{"negative breakpoint", Options{BreakAt: -3}, "BreakAt", "-3"},
+		{"unknown statement breakpoint", Options{BreakAt: 9999}, "BreakAt", "9999"},
 	}
 	for _, tc := range cases {
-		if _, err := prog.RunLogged(tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
-			t.Errorf("RunLogged(%+v) error = %v, want mention of %q", tc.opts, err, tc.want)
-		}
-		if err := prog.Run(tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
-			t.Errorf("Run(%+v) error = %v, want mention of %q", tc.opts, err, tc.want)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			check := func(api string, err error) {
+				if err == nil {
+					t.Fatalf("%s(%+v): no error", api, tc.opts)
+				}
+				if !errors.Is(err, ErrInvalidOptions) {
+					t.Errorf("%s error %v does not wrap ErrInvalidOptions", api, err)
+				}
+				msg := err.Error()
+				if !strings.Contains(msg, "Options."+tc.field) {
+					t.Errorf("%s error %q does not name field %s", api, msg, tc.field)
+				}
+				if !strings.Contains(msg, tc.value) {
+					t.Errorf("%s error %q does not include value %s", api, msg, tc.value)
+				}
+			}
+			_, rlErr := prog.RunLogged(tc.opts)
+			check("RunLogged", rlErr)
+			check("Run", prog.Run(tc.opts))
+			_, poErr := prog.ProfileOps(tc.opts)
+			check("ProfileOps", poErr)
+			_, osErr := OpenSession("v.mpl", `func main() { print(1); }`, tc.opts)
+			check("OpenSession", osErr)
+		})
 	}
 	// Zero values still select defaults.
 	if _, err := prog.RunLogged(Options{}); err != nil {
 		t.Errorf("zero options rejected: %v", err)
+	}
+	// The unknown-statement message must point at `ppd dump`.
+	_, err = prog.RunLogged(Options{BreakAt: 9999})
+	if err == nil || !strings.Contains(err.Error(), "no such statement") {
+		t.Errorf("BreakAt=9999 error = %v, want 'no such statement'", err)
 	}
 }
 
