@@ -31,4 +31,20 @@ var (
 	// serving daemon's worker pool and its bounded queue are both full,
 	// or the session table is at capacity. Clients should retry later.
 	ErrServerSaturated = errors.New("ppd: server saturated")
+
+	// ErrCompile classifies every preparatory-phase failure from
+	// CompileOpts (and therefore OpenSession): the program itself is
+	// wrong. Run-phase infrastructure errors (cancellation, log-sink
+	// failures) never carry it, so callers can tell "fix the program"
+	// apart from "the run didn't happen".
+	ErrCompile = errors.New("ppd: compile failed")
 )
+
+// compileErr tags a preparatory-phase failure so errors.Is(err,
+// ErrCompile) holds while the message (and the wrapped chain underneath)
+// stays exactly what the compiler produced.
+type compileErr struct{ err error }
+
+func (e *compileErr) Error() string        { return e.err.Error() }
+func (e *compileErr) Unwrap() error        { return e.err }
+func (e *compileErr) Is(target error) bool { return target == ErrCompile }

@@ -141,8 +141,8 @@ func (ss *session) info(now time.Time) sessionInfo {
 		Filename: ss.filename,
 		Created:  ss.created,
 		IdleNS:   now.UnixNano() - ss.lastUsed.Load(),
-		Seed:     ss.seed,
-		Quantum:  ss.quantum,
+		Seed:     ss.seed.Load(),
+		Quantum:  int(ss.quantum.Load()),
 	}
 	if info.IdleNS < 0 {
 		info.IdleNS = 0
@@ -181,6 +181,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Filename == "" {
 		req.Filename = "session.mpl"
 	}
+	// Claim a table slot before the expensive compile+run: a server at
+	// MaxSessions refuses immediately instead of compiling first.
+	res, err := s.reserve()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer res.release()
 	release, err := s.admit(r.Context().Done())
 	if err != nil {
 		writeError(w, err)
@@ -193,12 +201,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	opts.Output = &out
 	sess, err := ppd.OpenSessionContext(r.Context(), req.Filename, req.Source, opts)
 	if err != nil {
-		if status, code := statusFor(err); code == "internal" {
-			// Not an options problem and not a server state problem: the
-			// program itself failed to compile.
+		if errors.Is(err, ppd.ErrCompile) {
 			writeErrorCode(w, http.StatusBadRequest, "compile_error", err)
 		} else {
-			writeErrorCode(w, status, code, err)
+			// Options, server-state, cancellation, or run-phase
+			// infrastructure errors keep their own class.
+			writeError(w, err)
 		}
 		return
 	}
@@ -208,15 +216,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		filename: req.Filename,
 		created:  now,
 		sess:     sess,
-		seed:     req.Seed,
-		quantum:  req.Quantum,
 	}
+	ss.seed.Store(req.Seed)
+	ss.quantum.Store(int64(req.Quantum))
 	ss.touch(now)
-	if err := s.insert(ss); err != nil {
-		_ = sess.Close()
-		writeError(w, err)
-		return
-	}
+	s.insert(ss, res)
 	s.cCreated.Inc()
 	writeJSON(w, http.StatusCreated, createResponse{sessionInfo: ss.info(now), Output: out.String()})
 }
@@ -270,6 +274,16 @@ func (s *Server) handleRerun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Worker slot first, session lock second — the same order withSession
+	// uses. The reverse order can deadlock the pool: queries holding
+	// every slot block on the session lock while the rerun holds the lock
+	// waiting for a slot.
+	release, err := s.admit(r.Context().Done())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	// Re-run is exclusive: instead of queueing behind a long query (and
 	// invalidating the execution it is looking at), answer busy.
 	if !ss.mu.TryLock() {
@@ -278,12 +292,6 @@ func (s *Server) handleRerun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ss.mu.Unlock()
-	release, err := s.admit(r.Context().Done())
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	defer release()
 	var out limitedBuffer
 	opts := s.options(req)
 	opts.Output = &out
@@ -291,7 +299,8 @@ func (s *Server) handleRerun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ss.seed, ss.quantum = req.Seed, req.Quantum
+	ss.seed.Store(req.Seed)
+	ss.quantum.Store(int64(req.Quantum))
 	writeJSON(w, http.StatusOK, createResponse{sessionInfo: ss.info(time.Now()), Output: out.String()})
 }
 
@@ -459,7 +468,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	prog, err := ppd.CompileOpts(req.Filename, req.Source, eblock.DefaultConfig(),
 		ppd.Options{CacheDir: s.cfg.CacheDir, NoFusion: req.NoFusion})
 	if err != nil {
-		writeErrorCode(w, http.StatusBadRequest, "compile_error", err)
+		if errors.Is(err, ppd.ErrCompile) {
+			writeErrorCode(w, http.StatusBadRequest, "compile_error", err)
+		} else {
+			writeError(w, err)
+		}
 		return
 	}
 	cs := prog.CompileStats()

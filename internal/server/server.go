@@ -25,7 +25,10 @@
 //	ppd.ErrServerSaturated  429 server_saturated
 //	(anything else)         500 internal
 //
-// Compile/parse failures at session creation map to 400 compile_error.
+// Compile/parse failures (ppd.ErrCompile) map to 400 compile_error; a
+// creation error that is neither a compile failure nor one of the
+// sentinels above is a run-phase infrastructure failure and maps to 500
+// internal — never to compile_error.
 package server
 
 import (
@@ -113,9 +116,10 @@ type session struct {
 	lastUsed atomic.Int64
 
 	// seed/quantum record the options of the current execution for
-	// listings and for the race-report identity contract.
-	seed    int64
-	quantum int
+	// listings and for the race-report identity contract. Atomics: list
+	// and attach read them without the session lock, re-run writes them.
+	seed    atomic.Int64
+	quantum atomic.Int64
 }
 
 func (ss *session) touch(now time.Time) { ss.lastUsed.Store(now.UnixNano()) }
@@ -131,6 +135,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	reserved int           // table slots claimed by in-flight creates
 	retired  *obs.Snapshot // final stats of closed/expired sessions
 
 	janitorStop chan struct{}
@@ -298,15 +303,49 @@ func (s *Server) remove(id string) (*session, error) {
 	return ss, nil
 }
 
-// insert registers a new session, enforcing the table bound.
-func (s *Server) insert(ss *session) error {
+// reservation is a claimed slot in the session table: reserve takes it
+// before the expensive compile+run so MaxSessions refuses work before
+// performing it, insert transfers it to the live table, and release
+// (safe to defer unconditionally) returns it if the session never
+// materialized.
+type reservation struct {
+	s    *Server
+	done bool // consumed by insert or returned by release; guarded by s.mu
+}
+
+// reserve claims a table slot, enforcing MaxSessions against live
+// sessions plus in-flight creates.
+func (s *Server) reserve() (*reservation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		return fmt.Errorf("%w: %d sessions live (MaxSessions)", ppd.ErrServerSaturated, len(s.sessions))
+	if len(s.sessions)+s.reserved >= s.cfg.MaxSessions {
+		s.cSaturated.Inc()
+		return nil, fmt.Errorf("%w: %d sessions live (MaxSessions)", ppd.ErrServerSaturated, len(s.sessions))
+	}
+	s.reserved++
+	return &reservation{s: s}, nil
+}
+
+func (r *reservation) release() {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if !r.done {
+		r.done = true
+		r.s.reserved--
+	}
+}
+
+// insert registers a new session, consuming the reservation its create
+// holds (so the table bound is exact: a session is either reserved or
+// live, never both, never neither).
+func (s *Server) insert(ss *session, res *reservation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !res.done {
+		res.done = true
+		s.reserved--
 	}
 	s.sessions[ss.id] = ss
-	return nil
 }
 
 // newID mints a session ID: 8 random bytes, hex-encoded.

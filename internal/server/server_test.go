@@ -355,6 +355,42 @@ func TestSaturation(t *testing.T) {
 	if code != http.StatusTooManyRequests || errBody.Code != "server_saturated" {
 		t.Errorf("create beyond MaxSessions: status %d code %q, want 429 server_saturated", code, errBody.Code)
 	}
+	// The bound is admission control, not a post-hoc check: a full table
+	// refuses before compiling anything — even source that would not
+	// compile is answered 429, not 400 compile_error.
+	code = h2.call(t, "POST", "/v1/sessions", map[string]any{"source": "func main( {"}, &errBody)
+	if code != http.StatusTooManyRequests || errBody.Code != "server_saturated" {
+		t.Errorf("create beyond MaxSessions (bad source): status %d code %q, want 429 server_saturated (no compile)", code, errBody.Code)
+	}
+}
+
+// TestRerunPoolNoDeadlock is the lock-ordering regression gate: re-run
+// must take a worker slot before the session lock (the order every query
+// uses). The reverse order deadlocked a Workers=1 pool — a query holding
+// the only slot blocked on the session lock while a queued re-run held
+// the lock waiting for the slot — so this hammers one session with
+// interleaved re-runs and queries on a one-worker server and merely has
+// to finish.
+func TestRerunPoolNoDeadlock(t *testing.T) {
+	h := newHarness(t, Config{Workers: 1, MaxQueue: 64})
+	id := h.create(t, crashSrc, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if i%2 == 0 {
+					// 200 OK or 409 busy are both fine; hanging is not.
+					h.call(t, "POST", "/v1/sessions/"+id+"/run", map[string]any{"seed": j}, nil)
+				} else {
+					h.call(t, "GET", "/v1/sessions/"+id+"/races", nil, nil)
+					h.call(t, "GET", "/metrics", nil, nil)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 // TestBusy: while an exclusive operation would collide with an in-flight

@@ -217,7 +217,7 @@ func CompileOpts(filename, src string, cfg BlockConfig, opts Options) (*Program,
 	}
 	art, err := compile.CompileCachedFused(source.NewFile(filename, src), cfg, cacheDir(opts), opts.Workers, tab, sink)
 	if err != nil {
-		return nil, err
+		return nil, &compileErr{err}
 	}
 	return &Program{art: art, sink: sink}, nil
 }

@@ -2,6 +2,7 @@ package ppd
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 
@@ -23,10 +24,11 @@ import (
 // session's memory use bounded by one query at a time and makes Close
 // linearizable with in-flight queries).
 type Session struct {
-	mu     sync.Mutex
-	prog   *Program
-	exec   *Execution
-	closed bool
+	mu        sync.Mutex
+	prog      *Program
+	exec      *Execution
+	closed    bool
+	rerunning bool // a Rerun's logged run is in flight (outside mu)
 }
 
 // OpenSession compiles filename/src (through the persistent artifact
@@ -200,15 +202,41 @@ func (s *Session) Stats() *Stats {
 // previous execution, including its emulation cache, is released. The
 // previous Execution handle stays readable but shares nothing with the
 // session afterwards.
+//
+// The logged run happens outside the session lock, so queries (and the
+// serving daemon's /metrics scrape) keep answering from the current
+// execution while the new one is produced; the swap at the end is what
+// serializes. A second Rerun while one is in flight returns
+// ErrSessionBusy instead of queueing, and a Close that lands mid-run
+// wins: the finished run is discarded and Rerun returns ErrSessionClosed.
 func (s *Session) Rerun(ctx context.Context, opts Options) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrSessionClosed
 	}
+	if s.rerunning {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: re-run already in flight", ErrSessionBusy)
+	}
+	s.rerunning = true
+	s.mu.Unlock()
+
 	exec, err := s.prog.RunLoggedContext(ctx, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rerunning = false
 	if err != nil {
 		return err
+	}
+	if s.closed {
+		// Close won the race and already released the session's
+		// debugging-phase memory; release the new execution's too.
+		if exec.ctl != nil {
+			exec.ctl.DropCache()
+		}
+		return ErrSessionClosed
 	}
 	if s.exec.ctl != nil {
 		s.exec.ctl.DropCache()

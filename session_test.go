@@ -160,6 +160,112 @@ func TestSessionConcurrentQueries(t *testing.T) {
 	}
 }
 
+// gateWriter blocks a logged run at its first print until released,
+// giving tests a deterministic window in which a Rerun is in flight.
+type gateWriter struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+	return len(p), nil
+}
+
+const printingSrc = `func main() { print(1); print(2); }`
+
+// TestRerunDoesNotBlockQueries pins the Rerun lock discipline: the
+// logged run happens outside the session lock, so queries keep answering
+// from the current execution while the new one is produced (holding the
+// lock across the run stalled Stats — and the daemon's /metrics — for
+// the whole re-execution), and a second Rerun is refused with
+// ErrSessionBusy instead of queueing.
+func TestRerunDoesNotBlockQueries(t *testing.T) {
+	sess, err := OpenSession("print.mpl", printingSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	first := sess.Execution()
+
+	gate := &gateWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- sess.Rerun(context.Background(), Options{Output: gate})
+	}()
+	<-gate.entered // the re-run is now mid-execution
+
+	if st := sess.Stats(); st == nil {
+		t.Error("Stats during in-flight Rerun returned nil")
+	}
+	if _, err := sess.Races(); err != nil {
+		t.Errorf("Races during in-flight Rerun: %v", err)
+	}
+	if got := sess.Execution(); got != first {
+		t.Error("execution swapped before the re-run finished")
+	}
+	if err := sess.Rerun(context.Background(), Options{}); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("concurrent Rerun = %v, want ErrSessionBusy", err)
+	}
+
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatalf("Rerun: %v", err)
+	}
+	if sess.Execution() == first {
+		t.Error("Rerun did not replace the execution")
+	}
+}
+
+// TestCloseDuringRerun: a Close landing while a Rerun's logged run is in
+// flight wins — the finished run is discarded (its debugging-phase
+// memory released) and Rerun reports ErrSessionClosed.
+func TestCloseDuringRerun(t *testing.T) {
+	sess, err := OpenSession("print.mpl", printingSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- sess.Rerun(context.Background(), Options{Output: gate})
+	}()
+	<-gate.entered
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close during Rerun: %v", err)
+	}
+	close(gate.release)
+	if err := <-done; !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("Rerun overlapping Close = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Races(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("Races after Close = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestCompileErrSentinel: preparatory-phase failures carry ErrCompile;
+// infrastructure outcomes of the run phase do not, so callers (and the
+// daemon's error mapping) can tell "fix the program" from "the run
+// didn't happen".
+func TestCompileErrSentinel(t *testing.T) {
+	_, err := Compile("bad.mpl", "func main( {")
+	if !errors.Is(err, ErrCompile) {
+		t.Errorf("Compile syntax error = %v, want ErrCompile", err)
+	}
+	if _, err := OpenSession("bad.mpl", "func main( {", Options{}); !errors.Is(err, ErrCompile) {
+		t.Errorf("OpenSession syntax error = %v, want ErrCompile", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OpenSessionContext(ctx, "print.mpl", printingSrc, Options{}); errors.Is(err, ErrCompile) {
+		t.Errorf("cancelled open = %v; run-phase outcome must not carry ErrCompile", err)
+	}
+}
+
 // TestOpenSessionCancellation: a context cancelled before the run starts
 // aborts the logged execution at the first scheduling slice.
 func TestOpenSessionCancellation(t *testing.T) {
