@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch serve serve-smoke
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch serve serve-smoke stream stream-smoke
 
 all: build
 
@@ -63,8 +63,23 @@ vet-mpl: build
 	fi
 	@echo "vet-mpl: OK"
 
-ci: check cover bench-smoke vet-mpl cache-check serve-smoke
+ci: check cover bench-smoke vet-mpl cache-check serve-smoke stream-smoke
 	@echo "ci: OK"
+
+# Online-pipeline gate: a live monitored run end-to-end (ppd watch), the
+# early-abort path (run -first-race must flag the racy program with a
+# nonzero exit), and the oracle-equivalence golden test.
+stream-smoke: build
+	$(GO) run ./cmd/ppd watch -quantum 1 testdata/racy.mpl
+	@if $(GO) run ./cmd/ppd run -first-race -quantum 1 testdata/racy.mpl >/dev/null 2>&1; then \
+		echo "stream-smoke: run -first-race must exit nonzero on racy.mpl"; exit 1; \
+	fi
+	$(GO) test -run TestOnlineRacesByteIdentical ./internal/stream/
+	@echo "stream-smoke: OK"
+
+# Regenerate the E20 streaming-analysis table (writes BENCH_stream.json).
+stream: build
+	$(GO) run ./cmd/ppdbench stream
 
 # Daemon liveness gate: start `ppd serve` on an ephemeral port, drive one
 # session through the whole HTTP surface (create → races → flowback →

@@ -6,6 +6,7 @@
 //	ppd run prog.mpl [flags]        execution phase (optionally logged)
 //	ppd debug prog.mpl [flags]      run logged, then interactive flowback
 //	ppd races prog.mpl [flags]      run logged, then race detection
+//	ppd watch prog.mpl [flags]      run with the online race pipeline attached
 //	ppd vet prog.mpl [flags]        static analysis only: report diagnostics
 //	ppd stats prog.mpl [flags]      all three phases, then the obs snapshot
 //
@@ -52,6 +53,8 @@ func main() {
 		err = cmdDebug(args)
 	case "races":
 		err = cmdRaces(args)
+	case "watch":
+		err = cmdWatch(args)
 	case "vet":
 		err = cmdVet(args)
 	case "stats":
@@ -77,13 +80,17 @@ commands:
   compile   run the preparatory phase and summarize its artifacts
             (flags: -cache-dir DIR -workers N)
   dump      print the program database, e-block plan, and bytecode
-  run       execute the program (flags: -seed -quantum -mode run|log|trace)
+  run       execute the program (flags: -seed -quantum -mode run|log|trace
+            -first-race to abort at the first online-detected race)
   debug     execute logged, then start the interactive flowback debugger
   races     execute logged, then detect races (flags: -seed -sweep N)
+  watch     execute with the online analysis pipeline attached: races are
+            reported while the program is still running (flags: -seed
+            -quantum -first-race -batch N)
   vet       static analysis: race candidates, sync lints, uninitialized
             reads, dead stores (flags: -json -strict -timings)
   stats     run all three phases and print the observability snapshot
-            (flags: -seed -quantum -json -trace -cache-dir DIR); with
+            (flags: -seed -quantum -json -trace -monitor -cache-dir DIR); with
             -ops, profile dispatch instead: opcode / opcode-pair /
             superinstruction execution counts (feeds the fusion table)
   serve     start the multi-session debugging daemon (flags: -addr
@@ -179,9 +186,14 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed, quantum := vmFlags(fs)
 	mode := fs.String("mode", "run", "execution mode: run, log, or trace")
+	firstRace := fs.Bool("first-race", false,
+		"monitor the run online and cancel it at the first race (implies -mode log; exits 1 on a race)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: need one source file")
+	}
+	if *firstRace {
+		return runFirstRace(fs.Arg(0), *seed, *quantum)
 	}
 	art, err := compileFile(fs.Arg(0))
 	if err != nil {
@@ -210,6 +222,81 @@ func cmdRun(args []string) error {
 	if rerr != nil {
 		return rerr
 	}
+	return nil
+}
+
+// runFirstRace is `ppd run -first-race`: the run carries the online
+// pipeline and is cancelled the moment the frontier detector reports a
+// race — a long racy execution terminates in a small fraction of its full
+// runtime, with the triggering race(s) reported.
+func runFirstRace(path string, seed int64, quantum int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := ppd.CompileOpts(path, string(data), eblock.DefaultConfig(), ppd.Options{})
+	if err != nil {
+		return err
+	}
+	exec, err := prog.RunLogged(ppd.Options{
+		Seed: seed, Quantum: quantum, Output: os.Stdout, StopAtFirstRace: true,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case exec.StoppedAtRace():
+		fmt.Fprintf(os.Stderr, "[run cancelled at first race]\n")
+		fmt.Fprint(os.Stderr, exec.OnlineRaceReport())
+		os.Exit(1)
+	case len(exec.OnlineRaces()) > 0:
+		// A short run can complete before the cancellation lands; the
+		// races are still the online pipeline's.
+		fmt.Fprintf(os.Stderr, "[run completed before cancellation]\n")
+		fmt.Fprint(os.Stderr, exec.OnlineRaceReport())
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[run completed race-free under this schedule]\n")
+	return nil
+}
+
+// cmdWatch runs the program with the online analysis pipeline attached:
+// each race is printed as the frontier detector finds it — while the
+// program is still producing records — and the summary reports the final
+// canonical race set (byte-identical to `ppd races` on the same seed and
+// quantum) plus the pipeline's frontier counters.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	seed, quantum := vmFlags(fs)
+	firstRace := fs.Bool("first-race", false, "cancel the run at the first race")
+	batch := fs.Int("batch", 0, "tee batch size in records (0 = default)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("watch: need one source file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := ppd.CompileOpts(fs.Arg(0), string(data), eblock.DefaultConfig(), ppd.Options{})
+	if err != nil {
+		return err
+	}
+	exec, err := prog.RunLogged(ppd.Options{
+		Seed: *seed, Quantum: *quantum, Output: os.Stdout,
+		Monitor: true, StopAtFirstRace: *firstRace, StreamBatch: *batch,
+		OnRace: func(ev ppd.RaceEvent) { fmt.Printf("[race] %s\n", ev.String()) },
+	})
+	if err != nil {
+		return err
+	}
+	res := exec.OnlineResult()
+	if exec.StoppedAtRace() {
+		fmt.Println("[run cancelled at first race]")
+	}
+	fmt.Print(exec.OnlineRaceReport())
+	fmt.Printf("[stream: %d batch(es), %d event(s), frontier highwater %d, %d retired, %d race report(s) online]\n",
+		res.Batches, res.Events, res.Highwater, res.Retired, res.Online)
 	return nil
 }
 
@@ -248,6 +335,7 @@ func cmdStats(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the snapshot as JSON")
 	trace := fs.Bool("trace", false, "stream phase-scope events to stderr")
 	ops := fs.Bool("ops", false, "profile dispatch instead: per-opcode, opcode-pair, and superinstruction counts")
+	monitor := fs.Bool("monitor", false, "attach the online analysis pipeline (adds the stream.* counters)")
 	cacheDir := fs.String("cache-dir", os.Getenv("PPD_CACHE_DIR"),
 		"persistent artifact cache directory (empty disables; default $PPD_CACHE_DIR)")
 	fs.Parse(args)
@@ -274,7 +362,7 @@ func cmdStats(args []string) error {
 		))
 		return nil
 	}
-	opts := ppd.Options{Seed: *seed, Quantum: *quantum}
+	opts := ppd.Options{Seed: *seed, Quantum: *quantum, Monitor: *monitor}
 	if *trace {
 		opts.Trace = os.Stderr
 	}

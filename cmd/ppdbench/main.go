@@ -24,6 +24,9 @@
 //	ppdbench serve        E19 multi-session daemon under load: concurrent
 //	                      sessions over HTTP, shared artifact cache, race-
 //	                      report identity (also writes BENCH_serve.json)
+//	ppdbench stream       E20 online streaming analysis: batch vs pipeline
+//	                      time and retained memory, plus first-race early
+//	                      abort (also writes BENCH_stream.json)
 //	ppdbench all          everything
 package main
 
@@ -82,6 +85,7 @@ func main() {
 	run("compilecache", compilecache)
 	run("dispatch", dispatch)
 	run("serve", serveBench)
+	run("stream", streamBench)
 }
 
 // timeRun executes the program under the given mode and returns the best-

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"ppd"
+	"ppd/internal/bitset"
+	"ppd/internal/compile"
+	"ppd/internal/eblock"
+	"ppd/internal/logging"
+	"ppd/internal/parallel"
+	"ppd/internal/race"
+	"ppd/internal/stream"
+	"ppd/internal/vm"
+	"ppd/internal/workloads"
+)
+
+// streamCapture is one logged execution observed the two ways the E20
+// comparison needs: the retained log feeds the batch path, and the tapped
+// FeedRecords are the exact stream the production tee hands the online
+// pipeline. Both come from the same run, so the two analyses see
+// identical records.
+type streamCapture struct {
+	recs  []parallel.FeedRecord
+	log   *logging.ProgramLog
+	n     int
+	mask  *bitset.Set
+	names []string
+}
+
+func captureStream(wl *workloads.Workload, seed int64, quantum int) *streamCapture {
+	art, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	c := &streamCapture{n: len(art.Prog.Globals)}
+	v := vm.New(art.Prog, vm.Options{
+		Mode: vm.ModeLog, Seed: seed, Quantum: quantum, Output: io.Discard,
+		Tap: func(pid, idx int, r *logging.Record) {
+			switch r.Kind {
+			case logging.RecSync, logging.RecStart, logging.RecExit:
+			default:
+				return
+			}
+			c.recs = append(c.recs, parallel.FeedRecord{
+				PID:     pid,
+				RecIdx:  idx,
+				Kind:    r.Kind,
+				Op:      r.Op,
+				Obj:     r.Obj,
+				Stmt:    r.Stmt,
+				Gsn:     r.Gsn,
+				FromGsn: r.FromGsn,
+				Reads:   append([]int(nil), r.Reads...),
+				Writes:  append([]int(nil), r.Writes...),
+			})
+		},
+	})
+	if err := v.Run(); err != nil {
+		panic(err)
+	}
+	c.log = v.Log
+	c.names = make([]string, len(art.Prog.Globals))
+	for i, g := range art.Prog.Globals {
+		c.names[i] = g.Name
+	}
+	c.mask = art.Vet(nil).Conflicts.Mask()
+	return c
+}
+
+func feedAll(p *stream.Pipeline, recs []parallel.FeedRecord, batch int) {
+	for i := 0; i < len(recs); i += batch {
+		j := i + batch
+		if j > len(recs) {
+			j = len(recs)
+		}
+		p.Feed(recs[i:j])
+	}
+}
+
+// heapAfterGC returns the live heap after a full collection — the
+// retained-bytes meter for the memory comparison. Retained-after-GC is
+// used instead of sampling HeapAlloc peaks because it is reproducible and
+// measures exactly the analysis state a debugger would have to keep.
+func heapAfterGC() int64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// streamBench is E20: the online streaming analysis pipeline. Table 1
+// compares the batch debugging path (build the full parallelism graph
+// from the retained log, then run the indexed detector) against the
+// streaming pipeline (incremental build + frontier detection) over the
+// same records at roughly 10x the golden tests' sizes: analysis time,
+// ns/event, and retained analysis state (batch keeps the whole graph;
+// streaming keeps the unretired frontier, whose high-water mark is the
+// memory bound — except where a process that stops synchronizing pins the
+// frontier open, which TokenRing/ProdCons exhibit by design). Table 2
+// measures early abort through the public API: a full monitored run vs.
+// Options.StopAtFirstRace, in wall time and executed VM steps. RacyTicker
+// syncs every iteration so its races surface immediately; RacyCounter's
+// one-long-edge workers are the honest contrast where abort can only
+// trigger near the end. Writes BENCH_stream.json.
+func streamBench(w io.Writer) {
+	fmt.Fprintln(w, "=== E20: online streaming analysis — incremental build + frontier detection ===")
+	fmt.Fprintf(w, "%-14s %8s %6s %12s %12s %9s %12s %12s %9s %9s\n",
+		"workload", "events", "races", "batch", "stream", "ns/ev", "batch-mem", "stream-mem", "highwater", "retired")
+
+	type pipeRow struct {
+		Workload           string  `json:"workload"`
+		GoVersion          string  `json:"go_version"`
+		Gomaxprocs         int     `json:"gomaxprocs"`
+		Events             int64   `json:"events"`
+		Races              int     `json:"races"`
+		BatchNs            int64   `json:"batch_ns"`
+		StreamNs           int64   `json:"stream_ns"`
+		StreamNsPerEvent   float64 `json:"stream_ns_per_event"`
+		BatchRetainedBytes int64   `json:"batch_retained_bytes"`
+		StreamLiveBytes    int64   `json:"stream_live_bytes"`
+		LogBytes           int     `json:"log_bytes"`
+		FrontierHighwater  int64   `json:"frontier_highwater"`
+		Retired            int64   `json:"retired"`
+	}
+	var prows []pipeRow
+	for _, wl := range []*workloads.Workload{
+		workloads.Relay(4, 1500),
+		workloads.TokenRing(4, 1000),
+		workloads.ProdCons(6000),
+		workloads.Sharded(8, 400),
+	} {
+		c := captureStream(wl, 1, 5)
+
+		var batchRaces []*race.Race
+		tBatch := bestOf(3, func() {
+			g := parallel.Build(c.log, c.n)
+			g.VarNames = c.names
+			batchRaces = race.IndexedMasked(g, c.mask, nil)
+		})
+		var res *stream.Result
+		tStream := bestOf(3, func() {
+			p := stream.New(stream.Config{NShared: c.n, Mask: c.mask, VarNames: c.names})
+			feedAll(p, c.recs, stream.DefaultBatch)
+			res = p.Finish()
+		})
+		// The whole point of the oracle contract: any divergence here is a
+		// pipeline bug, so the benchmark refuses to report numbers for it.
+		if race.Report(res.Races, nil) != race.Report(batchRaces, nil) {
+			panic("online detector diverged from batch oracle on " + wl.Name)
+		}
+
+		// Retained analysis state, batch: the full graph plus the race set
+		// (the retained log itself is in the baseline for both sides; its
+		// serialized size is reported separately as log_bytes).
+		base := heapAfterGC()
+		g := parallel.Build(c.log, c.n)
+		g.VarNames = c.names
+		rs := race.IndexedMasked(g, c.mask, nil)
+		batchBytes := heapAfterGC() - base
+		runtime.KeepAlive(g)
+		runtime.KeepAlive(rs)
+		g, rs = nil, nil
+		_, _ = g, rs
+
+		// Live pipeline state at end of stream, before Finish: the
+		// unretired frontier, the builder's in-flight books, and the
+		// accumulated races — what an online monitor actually holds.
+		base = heapAfterGC()
+		p := stream.New(stream.Config{NShared: c.n, Mask: c.mask, VarNames: c.names})
+		feedAll(p, c.recs, stream.DefaultBatch)
+		liveBytes := heapAfterGC() - base
+		fin := p.Finish()
+		runtime.KeepAlive(fin)
+		if batchBytes < 0 {
+			batchBytes = 0
+		}
+		if liveBytes < 0 {
+			liveBytes = 0
+		}
+
+		r := pipeRow{
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0),
+			Events:     res.Events, Races: len(res.Races),
+			BatchNs: tBatch.Nanoseconds(), StreamNs: tStream.Nanoseconds(),
+			StreamNsPerEvent:   float64(tStream.Nanoseconds()) / float64(res.Events),
+			BatchRetainedBytes: batchBytes, StreamLiveBytes: liveBytes,
+			LogBytes:          c.log.SizeBytes(),
+			FrontierHighwater: res.Highwater, Retired: res.Retired,
+		}
+		prows = append(prows, r)
+		fmt.Fprintf(w, "%-14s %8d %6d %12v %12v %9.0f %12d %12d %9d %9d\n",
+			wl.Name, r.Events, r.Races, tBatch, tStream, r.StreamNsPerEvent,
+			r.BatchRetainedBytes, r.StreamLiveBytes, r.FrontierHighwater, r.Retired)
+	}
+
+	fmt.Fprintf(w, "\n%-14s %12s %12s %10s %10s %8s %7s\n",
+		"workload", "full-run", "first-race", "full-stp", "abort-stp", "stopped", "races")
+
+	type abortRow struct {
+		Workload      string `json:"workload"`
+		GoVersion     string `json:"go_version"`
+		Gomaxprocs    int    `json:"gomaxprocs"`
+		FullNs        int64  `json:"full_ns"`
+		FirstRaceNs   int64  `json:"first_race_ns"`
+		FullSteps     int64  `json:"full_steps"`
+		AbortSteps    int64  `json:"abort_steps"`
+		StoppedAtRace bool   `json:"stopped_at_race"`
+		RacesAtAbort  int    `json:"races_at_abort"`
+	}
+	var arows []abortRow
+	for _, wl := range []*workloads.Workload{
+		workloads.RacyTicker(3, 2000),
+		workloads.RacyCounter(3, 2000, false),
+	} {
+		prog, err := ppd.Compile(wl.Name+".mpl", wl.Src)
+		if err != nil {
+			panic(err)
+		}
+		var full *ppd.Execution
+		tFull := bestOf(3, func() {
+			e, err := prog.RunLogged(ppd.Options{Quantum: 3, Monitor: true, Output: io.Discard})
+			if err != nil {
+				panic(err)
+			}
+			full = e
+		})
+		var ab *ppd.Execution
+		tAbort := bestOf(3, func() {
+			e, err := prog.RunLogged(ppd.Options{Quantum: 3, StopAtFirstRace: true, Output: io.Discard})
+			if err != nil {
+				panic(err)
+			}
+			ab = e
+		})
+		r := abortRow{
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0),
+			FullNs:     tFull.Nanoseconds(), FirstRaceNs: tAbort.Nanoseconds(),
+			FullSteps:     full.Stats().Counter("exec.steps"),
+			AbortSteps:    ab.Stats().Counter("exec.steps"),
+			StoppedAtRace: ab.StoppedAtRace(),
+			RacesAtAbort:  len(ab.OnlineRaces()),
+		}
+		arows = append(arows, r)
+		fmt.Fprintf(w, "%-14s %12v %12v %10d %10d %8t %7d\n",
+			wl.Name, tFull, tAbort, r.FullSteps, r.AbortSteps, r.StoppedAtRace, r.RacesAtAbort)
+	}
+
+	out := struct {
+		Pipeline  []pipeRow  `json:"pipeline"`
+		FirstRace []abortRow `json:"first_race"`
+	}{prows, arows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_stream.json")
+}

@@ -23,9 +23,14 @@ import (
 
 const magic = 0x50504431 // "PPD1"
 
-// Write encodes the program log. A streamed log cannot be written again —
-// its records were encoded to the sink as they were produced and are no
-// longer retained; use CloseStream (or re-read the sink's bytes).
+// Write encodes the program log. A streamed log cannot be written again:
+// its records were encoded to the sink as they were produced and the
+// structures were recycled through the freelist — the *structures* still
+// exist (NewRecord reuses them) but they no longer hold those records'
+// fields, so there is nothing left to re-encode. Use CloseStream (or
+// re-read the sink's bytes). A tap (SetTap) does not change this: it
+// observes each record inside Append, before the recycling, and copies
+// what it keeps.
 func (pl *ProgramLog) Write(w io.Writer) error {
 	if pl.stream != nil {
 		return fmt.Errorf("logging: Write on a streamed log (records were sent to the sink; use the sink's bytes)")

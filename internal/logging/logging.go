@@ -276,7 +276,17 @@ type Book struct {
 	streamed    int // records encoded so far
 	streamStats Stats
 	free        []*Record
+
+	tap Tap // observes every record at Append time (may be nil)
 }
+
+// Tap observes every record the moment it is appended, before the book
+// retains or recycles it — the hook the online analysis pipeline tees off
+// of. idx is the record's index within the process's book. The record is
+// only valid for the duration of the call: under a streaming sink it goes
+// straight back on the freelist when Append returns (see SetStream), so a
+// tap must copy any field it needs and must not hold the pointer.
+type Tap func(pid, idx int, r *Record)
 
 // NewRecord returns a zeroed record for this book, recycled from the
 // freelist under a streaming sink or carved from the record arena.
@@ -316,8 +326,14 @@ func (b *Book) TakePairs(old Pairs, n int) Pairs {
 }
 
 // Append adds a record. Under a streaming sink the record is encoded and
-// recycled instead of retained.
+// recycled instead of retained. The tap, when set, sees the record first —
+// before it is retained or recycled — so taps compose with the freelist:
+// the tap call and the recycling are both inside Append, and the record is
+// never on the freelist while a tap can still see it.
 func (b *Book) Append(r *Record) {
+	if b.tap != nil {
+		b.tap(b.PID, b.Len(), r)
+	}
 	if b.stream == nil {
 		b.Records = append(b.Records, r)
 		return
@@ -340,6 +356,7 @@ type ProgramLog struct {
 	Books []*Book // indexed by PID
 
 	stream *Stream // non-nil when records are streamed instead of retained
+	tap    Tap     // inherited by every book (may be nil)
 }
 
 // NewProgramLog returns an empty program log.
@@ -356,10 +373,29 @@ type Stream struct {
 
 // SetStream switches the log into streaming mode over w. It must be called
 // before any record is appended; books created afterwards inherit it.
+//
+// Retention rule: under a streaming sink a record survives only for the
+// duration of its Append call — it is encoded into the per-book buffer and
+// immediately recycled onto the freelist (NewRecord reuses the structure,
+// including its Pairs and read/write slices, for a later record). Any
+// consumer that needs the record beyond Append — the online analysis tee in
+// particular — must attach via SetTap, which runs before the recycling, and
+// must copy what it keeps. Arena recycling therefore stays safe with a tap
+// attached: the freelist never holds a record a tap can still observe.
 func (pl *ProgramLog) SetStream(w io.Writer) {
 	pl.stream = &Stream{w: w}
 	for _, b := range pl.Books {
 		b.attachStream(pl.stream)
+	}
+}
+
+// SetTap attaches a record tap to every book, current and future. Like
+// SetStream it must be called before any record is appended. See Tap for
+// the (non-)retention contract.
+func (pl *ProgramLog) SetTap(t Tap) {
+	pl.tap = t
+	for _, b := range pl.Books {
+		b.tap = t
 	}
 }
 
@@ -398,7 +434,7 @@ func (pl *ProgramLog) CloseStream() error {
 // BookFor returns (creating if needed) the book for a PID.
 func (pl *ProgramLog) BookFor(pid int) *Book {
 	for len(pl.Books) <= pid {
-		b := &Book{PID: len(pl.Books)}
+		b := &Book{PID: len(pl.Books), tap: pl.tap}
 		if pl.stream != nil {
 			b.attachStream(pl.stream)
 		}

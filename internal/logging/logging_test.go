@@ -292,3 +292,109 @@ func TestStatsEmptyLog(t *testing.T) {
 		t.Errorf("empty log stats = %v", st)
 	}
 }
+
+// TestTapSeesRecordsBeforeRecycling pins the tap's retention contract
+// under a streaming sink: the tap observes every record — in generation
+// order, with its fields intact — strictly before Append recycles the
+// structure onto the freelist, and the structures really are reused (so a
+// tap that held the pointer instead of copying would observe corruption).
+// The copies the tap takes must match what CloseStream's bytes decode to.
+func TestTapSeesRecordsBeforeRecycling(t *testing.T) {
+	var sink bytes.Buffer
+	pl := NewProgramLog()
+	pl.SetStream(&sink)
+
+	type seen struct {
+		pid, idx int
+		rec      Record // deep-enough copy of the tapped fields
+	}
+	var taps []seen
+	ptrs := map[*Record]int{}
+	pl.SetTap(func(pid, idx int, r *Record) {
+		ptrs[r]++
+		taps = append(taps, seen{pid: pid, idx: idx, rec: Record{
+			Kind: r.Kind, Op: r.Op, Obj: r.Obj, Stmt: r.Stmt,
+			Gsn: r.Gsn, FromGsn: r.FromGsn, Value: r.Value,
+			Reads:  append([]int(nil), r.Reads...),
+			Writes: append([]int(nil), r.Writes...),
+		}})
+	})
+
+	b := pl.BookFor(0)
+	const n = 8
+	for i := 0; i < n; i++ {
+		r := b.NewRecord()
+		r.Kind, r.Op, r.Obj = RecSync, OpV, i
+		r.Gsn, r.FromGsn = uint64(i+1), uint64(i)
+		r.Reads = append(r.Reads[:0], i, i+1)
+		r.Writes = append(r.Writes[:0], i)
+		b.Append(r)
+	}
+
+	if len(taps) != n {
+		t.Fatalf("tap saw %d records, appended %d", len(taps), n)
+	}
+	reused := false
+	for _, count := range ptrs {
+		if count > 1 {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Fatalf("no record structure was recycled across %d appends; the test is not exercising the freelist", n)
+	}
+	for i, s := range taps {
+		if s.pid != 0 || s.idx != i {
+			t.Errorf("tap %d: got pid=%d idx=%d", i, s.pid, s.idx)
+		}
+		if s.rec.Obj != i || s.rec.Gsn != uint64(i+1) || len(s.rec.Reads) != 2 || s.rec.Reads[0] != i {
+			t.Errorf("tap %d observed stale fields: %+v", i, s.rec)
+		}
+	}
+
+	// The streamed bytes must decode to exactly what the tap copied:
+	// tapping does not perturb the log.
+	if err := pl.CloseStream(); err != nil {
+		t.Fatalf("CloseStream: %v", err)
+	}
+	got, err := Read(&sink)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	recs := got.Books[0].Records
+	if len(recs) != n {
+		t.Fatalf("decoded %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		s := taps[i].rec
+		if r.Kind != s.Kind || r.Op != s.Op || r.Obj != s.Obj || r.Gsn != s.Gsn ||
+			r.FromGsn != s.FromGsn || !reflect.DeepEqual(r.Reads, s.Reads) ||
+			!reflect.DeepEqual(r.Writes, s.Writes) {
+			t.Errorf("record %d: decoded %v != tapped %v", i, r, &s)
+		}
+	}
+}
+
+// TestTapOnRetainedLog pins the other half of the contract: without a
+// streaming sink the tap still fires at Append time (before retention),
+// and the retained records are the same ones the tap saw.
+func TestTapOnRetainedLog(t *testing.T) {
+	pl := NewProgramLog()
+	var order []int
+	pl.SetTap(func(pid, idx int, r *Record) { order = append(order, r.Obj) })
+	b := pl.BookFor(0)
+	for i := 0; i < 4; i++ {
+		b.Append(&Record{Kind: RecSync, Op: OpP, Obj: i})
+	}
+	if len(order) != 4 {
+		t.Fatalf("tap saw %d records, want 4", len(order))
+	}
+	for i, obj := range order {
+		if obj != i {
+			t.Errorf("tap order[%d] = %d", i, obj)
+		}
+	}
+	if len(pl.Books[0].Records) != 4 {
+		t.Errorf("retained %d records, want 4", len(pl.Books[0].Records))
+	}
+}

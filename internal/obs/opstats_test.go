@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpStatsCounting(t *testing.T) {
+	s := NewOpStats(4, 2)
+	if s.NumOps() != 4 {
+		t.Fatalf("NumOps = %d, want 4", s.NumOps())
+	}
+	// Simulate a dispatch sequence 1,2,1,2,3 with no predecessor for the
+	// first instruction of the slice.
+	s.Count(-1, 1)
+	s.Count(1, 2)
+	s.Count(2, 1)
+	s.Count(1, 2)
+	s.Count(2, 3)
+	s.CountSuper(0)
+	s.CountSuper(0)
+	s.CountSuper(1)
+
+	if got := s.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	if s.Ops[1] != 2 || s.Ops[2] != 2 || s.Ops[3] != 1 {
+		t.Errorf("Ops histogram = %v", s.Ops)
+	}
+	if s.Pairs[1*4+2] != 2 {
+		t.Errorf("pair 1->2 counted %d times, want 2", s.Pairs[1*4+2])
+	}
+	if s.Super[0] != 2 || s.Super[1] != 1 {
+		t.Errorf("Super histogram = %v", s.Super)
+	}
+}
+
+func TestOpStatsTopPairs(t *testing.T) {
+	s := NewOpStats(3, 0)
+	s.Count(-1, 0)
+	s.Count(0, 1) // 0->1 ×1
+	s.Count(1, 2) // 1->2 ×3
+	s.Count(2, 1)
+	s.Count(1, 2)
+	s.Count(2, 1)
+	s.Count(1, 2)
+
+	pairs := s.TopPairs(0)
+	if len(pairs) != 3 {
+		t.Fatalf("TopPairs(0) returned %d pairs, want 3 (all)", len(pairs))
+	}
+	if pairs[0].Prev != 1 || pairs[0].Cur != 2 || pairs[0].N != 3 {
+		t.Errorf("most frequent pair = %+v, want 1->2 x3", pairs[0])
+	}
+	// Deterministic tie order: 0->1 and 2->1 both count 2... here 2->1 is
+	// x2 and 0->1 x1, so frequency alone orders them.
+	if pairs[1].Prev != 2 || pairs[1].Cur != 1 {
+		t.Errorf("second pair = %+v, want 2->1", pairs[1])
+	}
+	if top := s.TopPairs(1); len(top) != 1 || top[0].N != 3 {
+		t.Errorf("TopPairs(1) = %+v", top)
+	}
+}
+
+func TestOpStatsText(t *testing.T) {
+	s := NewOpStats(3, 2)
+	s.Count(-1, 0)
+	s.Count(0, 1)
+	s.Count(1, 1)
+	s.CountSuper(1)
+	opName := func(i int) string { return fmt.Sprintf("op%d", i) }
+	superName := func(i int) string { return fmt.Sprintf("super%d", i) }
+
+	out := s.Text(opName, superName)
+	for _, want := range []string{
+		"ops (total 3):", "op1", "pairs (top 16):", "op0+op1",
+		"superinstructions:", "super1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+	// No superinstruction section when nothing was dispatched.
+	empty := NewOpStats(3, 2)
+	empty.Count(-1, 0)
+	if out := empty.Text(opName, superName); strings.Contains(out, "superinstructions") {
+		t.Errorf("Text lists superinstructions with zero dispatches:\n%s", out)
+	}
+}
+
+func TestTimerStatTotalAndMean(t *testing.T) {
+	ts := TimerStat{Count: 4, TotalNS: int64(2 * time.Second)}
+	if ts.Total() != 2*time.Second {
+		t.Errorf("Total = %v", ts.Total())
+	}
+	if ts.Mean() != 500*time.Millisecond {
+		t.Errorf("Mean = %v", ts.Mean())
+	}
+	if (TimerStat{}).Mean() != 0 {
+		t.Error("zero-value Mean should be 0")
+	}
+}

@@ -75,61 +75,14 @@ type Graph struct {
 	nShared int
 }
 
-// extraction is one process's events and edges with process-local IDs
-// (renumbered to global IDs when stitched into the graph). Each process's
-// log scan is independent of every other's, so pass 1 of Build fans the
-// extractions out across the shared worker pool.
-type extraction struct {
-	events []*Event
-	edges  []*InternalEdge
-}
-
-// extractProc runs pass 1 for one process: events at sync/start/exit
-// records, one internal edge per event, IDs local to the process.
-func extractProc(pid int, book *logging.Book, nShared int) *extraction {
-	ex := &extraction{}
-	var prevEnd EventID = -1
-	startRec := 0
-	for ri, r := range book.Records {
-		switch r.Kind {
-		case logging.RecSync, logging.RecStart, logging.RecExit:
-			ev := &Event{
-				ID:   EventID(len(ex.events)),
-				PID:  pid,
-				Idx:  len(ex.events),
-				Op:   r.Op,
-				Kind: r.Kind,
-				Obj:  r.Obj,
-				Stmt: r.Stmt,
-				Gsn:  r.Gsn,
-				From: -1,
-			}
-			ex.events = append(ex.events, ev)
-			// The internal edge this event terminates.
-			edge := &InternalEdge{
-				ID:       len(ex.edges),
-				PID:      pid,
-				Start:    prevEnd,
-				End:      ev.ID,
-				Reads:    bitset.FromSlice(nShared, r.Reads),
-				Writes:   bitset.FromSlice(nShared, r.Writes),
-				StartRec: startRec,
-				EndRec:   ri,
-			}
-			ex.edges = append(ex.edges, edge)
-			prevEnd = ev.ID
-			startRec = ri + 1
-		}
-	}
-	return ex
-}
-
 // Build constructs the graph from an execution's logs. nShared is the size
-// of the GlobalID space (for the read/write bitsets). Per-process event
-// extraction runs on the shared worker pool; the stitched result is
-// identical to a sequential build — the sequential pass numbered each
-// process's events and edges contiguously in pid order, so renumbering the
-// parallel extractions by per-process offsets reproduces the exact IDs.
+// of the GlobalID space (for the read/write bitsets). Build is a thin
+// wrapper over the incremental Builder: each book is converted to the
+// builder's feed on the shared worker pool (the read/write bitsets — the
+// heavy part of extraction — are built there), then fed in pid order. The
+// result is identical to the fully-sequential build — the builder numbers
+// each process's events and edges contiguously and Finish renumbers by
+// per-process offsets in pid order, reproducing the exact global IDs.
 func Build(pl *logging.ProgramLog, nShared int) *Graph {
 	return build(pl, nShared, sched.Shared())
 }
@@ -142,117 +95,16 @@ func BuildWithPool(pl *logging.ProgramLog, nShared int, pool *sched.Pool) *Graph
 }
 
 func build(pl *logging.ProgramLog, nShared int, pool *sched.Pool) *Graph {
-	g := &Graph{
-		Log:     pl,
-		byGsn:   make(map[uint64]EventID),
-		nProcs:  pl.NumProcs(),
-		nShared: nShared,
-	}
-	g.byProc = make([][]EventID, g.nProcs)
-	g.edgesOf = make([][]*InternalEdge, g.nProcs)
-
-	// Pass 1: per-process extraction, fanned out.
-	extracts := sched.Map(pool, g.nProcs, func(pid int) *extraction {
-		return extractProc(pid, pl.Books[pid], nShared)
+	nProcs := pl.NumProcs()
+	feeds := sched.Map(pool, nProcs, func(pid int) []FeedRecord {
+		return feedOf(pid, pl.Books[pid], nShared)
 	})
-
-	// Stitch: renumber local IDs into the global ID space in pid order.
-	for pid, ex := range extracts {
-		evOff := EventID(len(g.Events))
-		edgeOff := len(g.Edges)
-		for _, ev := range ex.events {
-			ev.ID += evOff
-			g.Events = append(g.Events, ev)
-			g.byProc[pid] = append(g.byProc[pid], ev.ID)
-			if ev.Gsn != 0 {
-				g.byGsn[ev.Gsn] = ev.ID
-			}
-		}
-		for _, e := range ex.edges {
-			e.ID += edgeOff
-			if e.Start >= 0 {
-				e.Start += evOff
-			}
-			e.End += evOff
-			g.Edges = append(g.Edges, e)
-		}
-		g.edgesOf[pid] = ex.edges
+	b := NewBuilder(nShared)
+	b.SetNumProcs(nProcs)
+	for _, feed := range feeds {
+		b.Feed(feed)
 	}
-
-	// Pass 2: synchronization edges via FromGsn.
-	for pid, book := range pl.Books {
-		i := 0
-		for _, r := range book.Records {
-			switch r.Kind {
-			case logging.RecSync, logging.RecStart, logging.RecExit:
-				ev := g.Events[g.byProc[pid][i]]
-				i++
-				if r.FromGsn != 0 {
-					if from, ok := g.byGsn[r.FromGsn]; ok {
-						ev.From = from
-						g.SyncEdges = append(g.SyncEdges, [2]EventID{from, ev.ID})
-					}
-				}
-			}
-		}
-	}
-
-	g.computeClocks()
-	return g
-}
-
-// computeClocks assigns vector clocks in a topological sweep. Events are
-// processed in Gsn order (the VM's global sequence numbers are a valid
-// linear extension); Start/Exit records without Gsn are handled in process
-// order.
-func (g *Graph) computeClocks() {
-	// Order: process each process's events in order, but an event with a
-	// From edge needs its source's clock first. Gsn order guarantees
-	// sources come first (FromGsn < Gsn always); Start records have Gsn 0
-	// but their From (the spawn) has a smaller Gsn than any later event.
-	// Simple worklist: iterate until all clocks assigned.
-	assigned := make([]bool, len(g.Events))
-	remaining := len(g.Events)
-	for remaining > 0 {
-		progress := false
-		for pid := 0; pid < g.nProcs; pid++ {
-			for idx, eid := range g.byProc[pid] {
-				ev := g.Events[eid]
-				if assigned[eid] {
-					continue
-				}
-				// Needs: previous event in the process (if any) and the
-				// From source (if any).
-				if idx > 0 && !assigned[g.byProc[pid][idx-1]] {
-					break // process order: can't skip ahead
-				}
-				if ev.From >= 0 && !assigned[ev.From] {
-					break
-				}
-				clock := make([]int, g.nProcs)
-				if idx > 0 {
-					copy(clock, g.Events[g.byProc[pid][idx-1]].Clock)
-				}
-				if ev.From >= 0 {
-					join(clock, g.Events[ev.From].Clock)
-				}
-				clock[pid]++
-				ev.Clock = clock
-				assigned[eid] = true
-				remaining--
-				progress = true
-			}
-		}
-		if !progress {
-			// Cycle (corrupt log); assign zero clocks to break out.
-			for eid, ok := range assigned {
-				if !ok {
-					g.Events[eid].Clock = make([]int, g.nProcs)
-					remaining--
-				}
-			}
-		}
-	}
+	return b.Finish(pl)
 }
 
 func join(dst, src []int) {

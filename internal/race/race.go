@@ -101,12 +101,24 @@ func checkPair(g *parallel.Graph, e1, e2 *parallel.InternalEdge) []*Race {
 	if e1.ID > e2.ID {
 		e1, e2 = e2, e1
 	}
+	return CheckOrientedPair(e1, e2, g.VarNames)
+}
+
+// CheckOrientedPair is checkPair without the re-orientation: the caller
+// has already put the pair in canonical order. The streaming detector
+// needs this split because it classifies pairs while edges still carry
+// process-local IDs — raw ID order would mis-orient a cross-process pair,
+// but (PID, local index) order equals final global ID order, so the
+// stream orients by that and the classification matches the batch
+// detector's exactly. varNames, when non-nil, resolves conflict variables
+// to source names (the batch path passes Graph.VarNames).
+func CheckOrientedPair(e1, e2 *parallel.InternalEdge, varNames []string) []*Race {
 	mk := func(kind Conflict, inter *bitset.Set) *Race {
 		r := &Race{E1: e1, E2: e2, Kind: kind, Vars: inter.Elems()}
-		if g.VarNames != nil {
+		if varNames != nil {
 			r.Names = make([]string, len(r.Vars))
 			for i, v := range r.Vars {
-				r.Names[i] = g.VarNames[v]
+				r.Names[i] = varNames[v]
 			}
 		}
 		return r
@@ -293,6 +305,13 @@ func record(sink *obs.Sink, pairs, pruned int64, races int) {
 	sink.Counter("race.buckets.pruned").Add(pruned)
 	sink.Counter("race.runs").Inc()
 }
+
+// Canonicalize dedups and sorts races into the canonical report order —
+// (E1.ID, E2.ID, Kind) ascending, first occurrence kept. The batch
+// detectors apply it internally; the streaming detector applies it after
+// renumbering its retained edges into the global ID space, which is what
+// makes its final race set byte-identical to the batch oracle's.
+func Canonicalize(rs []*Race) []*Race { return dedup(rs) }
 
 func dedup(rs []*Race) []*Race {
 	seen := make(map[pairKey]bool)

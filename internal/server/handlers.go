@@ -106,19 +106,26 @@ type runOptions struct {
 	Quantum  int   `json:"quantum"`
 	MaxSteps int64 `json:"max_steps"`
 	NoFusion bool  `json:"no_fusion"`
+	// StopAtFirstRace cancels the run as soon as the online pipeline
+	// reports a race (implies monitoring). StreamBatch tunes the tee's
+	// record batch size; 0 keeps the default.
+	StopAtFirstRace bool `json:"stop_at_first_race"`
+	StreamBatch     int  `json:"stream_batch"`
 }
 
 // options resolves the request knobs plus the server-wide policy knobs
 // into ppd.Options. Output capture is the caller's.
 func (s *Server) options(ro runOptions) ppd.Options {
 	return ppd.Options{
-		Seed:       ro.Seed,
-		Quantum:    ro.Quantum,
-		MaxSteps:   ro.MaxSteps,
-		NoFusion:   ro.NoFusion,
-		Workers:    s.cfg.SessionWorkers,
-		CacheBound: s.cfg.CacheBound,
-		CacheDir:   s.cfg.CacheDir,
+		Seed:            ro.Seed,
+		Quantum:         ro.Quantum,
+		MaxSteps:        ro.MaxSteps,
+		NoFusion:        ro.NoFusion,
+		StopAtFirstRace: ro.StopAtFirstRace,
+		StreamBatch:     ro.StreamBatch,
+		Workers:         s.cfg.SessionWorkers,
+		CacheBound:      s.cfg.CacheBound,
+		CacheDir:        s.cfg.CacheDir,
 	}
 }
 
@@ -292,6 +299,10 @@ func (s *Server) handleRerun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ss.mu.Unlock()
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamRerun(w, r, ss, req)
+		return
+	}
 	var out limitedBuffer
 	opts := s.options(req)
 	opts.Output = &out
@@ -302,6 +313,74 @@ func (s *Server) handleRerun(w http.ResponseWriter, r *http.Request) {
 	ss.seed.Store(req.Seed)
 	ss.quantum.Store(int64(req.Quantum))
 	writeJSON(w, http.StatusOK, createResponse{sessionInfo: ss.info(time.Now()), Output: out.String()})
+}
+
+// streamEvent is one NDJSON line of a streaming re-run: type "race" lines
+// arrive incrementally while the program is still running, then exactly
+// one "summary" (or "error") line closes the stream.
+type streamEvent struct {
+	Type string `json:"type"`
+
+	// type "race"
+	Race string `json:"race,omitempty"`
+
+	// type "summary"
+	Count         int    `json:"count,omitempty"`
+	Report        string `json:"report,omitempty"`
+	StoppedAtRace bool   `json:"stopped_at_race,omitempty"`
+	Batches       int64  `json:"stream_batches,omitempty"`
+	Highwater     int64  `json:"stream_frontier_highwater,omitempty"`
+	Retired       int64  `json:"stream_events_retired,omitempty"`
+	Output        string `json:"output,omitempty"`
+
+	// type "error"
+	Error string `json:"error,omitempty"`
+}
+
+// streamRerun is the ?stream=1 branch of handleRerun: the re-run happens
+// with the online analysis pipeline attached and each race is written to
+// the response — NDJSON, flushed per event — while the program is still
+// executing. The caller holds the session's exclusive lock and a worker
+// slot. Because the 200 header is committed before the run starts, a
+// failing run is reported as a final "error" line rather than a status.
+func (s *Server) streamRerun(w http.ResponseWriter, r *http.Request, ss *session, req runOptions) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var out limitedBuffer
+	opts := s.options(req)
+	opts.Output = &out
+	// The callback runs on the pipeline's feeding goroutine; StreamRaces
+	// does not return until that goroutine has drained (the tee joins it),
+	// so these writes never interleave with the summary below.
+	res, err := ss.sess.StreamRaces(r.Context(), opts, func(ev ppd.RaceEvent) {
+		_ = enc.Encode(streamEvent{Type: "race", Race: ev.String()})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		_ = enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	ss.seed.Store(req.Seed)
+	ss.quantum.Store(int64(req.Quantum))
+	exec := ss.sess.Execution()
+	report := exec.OnlineRaceReport()
+	_ = enc.Encode(streamEvent{
+		Type:          "summary",
+		Count:         len(res.Races),
+		Report:        report,
+		StoppedAtRace: exec.StoppedAtRace(),
+		Batches:       res.Batches,
+		Highwater:     res.Highwater,
+		Retired:       res.Retired,
+		Output:        out.String(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 type racesResponse struct {

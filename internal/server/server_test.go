@@ -515,3 +515,127 @@ func TestMetricsGauges(t *testing.T) {
 		t.Errorf("exec.steps = %d, want > 0 (live session stats must merge)", got)
 	}
 }
+
+// TestStreamingRerun drives POST /run?stream=1: the response is NDJSON
+// with incremental race events followed by one summary line whose report
+// is byte-identical to the batch /races report over the same re-run, and
+// the daemon's /metrics pick up the stream.* counters.
+func TestStreamingRerun(t *testing.T) {
+	wl := workloads.RacyCounter(3, 10, false)
+	h := newHarness(t, Config{})
+	id := h.create(t, wl.Src, map[string]any{"seed": int64(1), "quantum": 5})
+
+	body, _ := json.Marshal(map[string]any{"seed": int64(2), "quantum": 1})
+	resp, err := http.Post(h.ts.URL+"/v1/sessions/"+id+"/run?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream rerun: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	type line struct {
+		Type    string `json:"type"`
+		Race    string `json:"race"`
+		Count   int    `json:"count"`
+		Report  string `json:"report"`
+		Batches int64  `json:"stream_batches"`
+		Error   string `json:"error"`
+	}
+	var races []line
+	var summary *line
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var l line
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("decode NDJSON line: %v", err)
+		}
+		switch l.Type {
+		case "race":
+			if summary != nil {
+				t.Error("race event after the summary line")
+			}
+			races = append(races, l)
+		case "summary":
+			cp := l
+			summary = &cp
+		default:
+			t.Fatalf("unexpected line type %q (error=%q)", l.Type, l.Error)
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	if len(races) == 0 || summary.Count == 0 {
+		t.Fatalf("streamed %d race events, summary count %d", len(races), summary.Count)
+	}
+	if summary.Batches == 0 {
+		t.Error("summary carries no stream_batches counter")
+	}
+
+	// The session now holds the monitored execution: the batch /races
+	// report over it must equal the streamed summary's report.
+	var batch struct {
+		Report string `json:"report"`
+	}
+	if code := h.call(t, "GET", "/v1/sessions/"+id+"/races", nil, &batch); code != http.StatusOK {
+		t.Fatalf("races after stream: status %d", code)
+	}
+	if batch.Report != summary.Report {
+		t.Errorf("streamed report diverges from batch:\n--- streamed\n%s--- batch\n%s", summary.Report, batch.Report)
+	}
+
+	m := h.metrics(t)
+	for _, key := range []string{"stream.batches", "stream.races.online", "stream.events.retired"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/metrics missing %s after a streaming re-run", key)
+		}
+	}
+	if m["stream.races.online"] == 0 {
+		t.Error("/metrics stream.races.online is zero after a racy streaming re-run")
+	}
+}
+
+// TestStreamingRerunStopAtFirstRace exercises the early-abort knob over
+// HTTP: the summary reports stopped_at_race.
+func TestStreamingRerunStopAtFirstRace(t *testing.T) {
+	wl := workloads.RacyTicker(3, 200)
+	h := newHarness(t, Config{})
+	id := h.create(t, wl.Src, map[string]any{"quantum": 5})
+
+	body, _ := json.Marshal(map[string]any{"quantum": 3, "stop_at_first_race": true})
+	resp, err := http.Post(h.ts.URL+"/v1/sessions/"+id+"/run?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stopped bool
+	var sawSummary bool
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var l struct {
+			Type          string `json:"type"`
+			StoppedAtRace bool   `json:"stopped_at_race"`
+			Error         string `json:"error"`
+		}
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if l.Type == "error" {
+			t.Fatalf("stream error: %s", l.Error)
+		}
+		if l.Type == "summary" {
+			sawSummary, stopped = true, l.StoppedAtRace
+		}
+	}
+	if !sawSummary {
+		t.Fatal("no summary line")
+	}
+	if !stopped {
+		t.Error("summary does not report stopped_at_race")
+	}
+}

@@ -101,8 +101,19 @@ type Options struct {
 	// dispatch hot path is unchanged) and a cancelled run stops between
 	// slices, returning Ctx.Err() as an infrastructure error: no Failure
 	// or Deadlock is recorded, and the log holds everything appended up
-	// to the halt. nil disables the check entirely.
+	// to the halt. Even a cancelled run flushes the halted processes' exit
+	// records, so its (partial) log is well-formed for the debugging
+	// phase. nil disables the check entirely.
 	Ctx context.Context
+
+	// Tap, when non-nil under ModeLog, observes every log record at append
+	// time in generation order — the hook the online analysis pipeline
+	// (internal/stream) tees off of. The tap runs on the VM goroutine
+	// before the record is retained or recycled; it must copy what it
+	// keeps (see logging.Tap) and should hand work off quickly. Composes
+	// with LogSink: the tap fires first, then the record is encoded and
+	// recycled.
+	Tap logging.Tap
 }
 
 // Status is a process's scheduling state.
@@ -334,6 +345,9 @@ func New(prog *bytecode.Program, opts Options) *VM {
 		v.Log = logging.NewProgramLog()
 		if opts.LogSink != nil {
 			v.Log.SetStream(opts.LogSink)
+		}
+		if opts.Tap != nil {
+			v.Log.SetTap(opts.Tap)
 		}
 		v.shared = make([]bool, len(prog.Globals))
 		for i, g := range prog.Globals {

@@ -7,7 +7,10 @@
 // from sync-free number crunching to sync-heavy message passing.
 package workloads
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Workload is one benchmark program.
 type Workload struct {
@@ -217,6 +220,58 @@ func main() {
 	}
 }
 
+// Relay chains main and `stages` workers into a message ring that main
+// participates in every round: main injects a token, each stage bumps it
+// and a shared hop counter, and main reads it back before injecting the
+// next. Exactly one token is ever in flight, so every shared access is
+// ordered through the chain (race-free) and — the property this workload
+// exists for — every process synchronizes continuously. That keeps the
+// online pipeline's happens-before frontier at O(stages) for the whole
+// run, in contrast to ProdCons/TokenRing whose main blocks on P(done)
+// from spawn to teardown and thus (correctly) pins the frontier open.
+func Relay(stages, rounds int) *Workload {
+	var sb strings.Builder
+	sb.WriteString("shared hops;\n")
+	for s := 0; s <= stages; s++ {
+		fmt.Fprintf(&sb, "chan c%d[1];\n", s)
+	}
+	fmt.Fprintf(&sb, "var rounds = %d;\n", rounds)
+	for s := 1; s <= stages; s++ {
+		fmt.Fprintf(&sb, `
+func s%d() {
+	var r = 0;
+	while (r < rounds) {
+		var t = recv(c%d);
+		hops = hops + 1;
+		send(c%d, t + 1);
+		r = r + 1;
+	}
+}
+`, s, s-1, s)
+	}
+	sb.WriteString("\nfunc main() {\n")
+	for s := 1; s <= stages; s++ {
+		fmt.Fprintf(&sb, "\tspawn s%d();\n", s)
+	}
+	sb.WriteString(`	var r = 0;
+	var t = 0;
+	while (r < rounds) {
+		send(c0, t);
+		t = recv(c` + fmt.Sprint(stages) + `);
+		r = r + 1;
+	}
+	print("token=", t);
+}
+`)
+	return &Workload{
+		Name:   "relay",
+		Desc:   fmt.Sprintf("main plus %d stages relaying one token %d rounds", stages, rounds),
+		Src:    sb.String(),
+		Procs:  stages + 1,
+		Output: fmt.Sprintf("token=%d\n", rounds*stages),
+	}
+}
+
 // Divide computes a recursive divide-and-conquer sum — deep call nesting,
 // exercising nested log intervals (§5.2).
 func Divide(depth int) *Workload {
@@ -298,6 +353,46 @@ func w%d() {
 		Name:  fmt.Sprintf("sharded-%dx%d", workers, rounds),
 		Desc:  fmt.Sprintf("%d workers × %d rounds on disjoint shards", workers, rounds),
 		Src:   string(sb),
+		Procs: workers + 1,
+	}
+}
+
+// RacyTicker races like RacyCounter but synchronizes on a semaphore
+// every iteration, so each increment lands in its own edge and racing
+// edges surface within the first few iterations of the run — the shape
+// early-abort (Options.StopAtFirstRace) is measured on. RacyCounter's
+// workers, by contrast, produce one long edge each: their race is only
+// detectable once a worker's whole loop has finished.
+func RacyTicker(workers, rounds int) *Workload {
+	src := fmt.Sprintf(`
+shared counter;
+sem m = 1;
+sem done = 0;
+var rounds = %d;
+
+func w() {
+	var i = 0;
+	while (i < rounds) {
+		P(m);
+		V(m);
+		counter = counter + 1;
+		i = i + 1;
+	}
+	V(done);
+}
+
+func main() {
+	var k = 0;
+	while (k < %d) { spawn w(); k = k + 1; }
+	var d = 0;
+	while (d < %d) { P(done); d = d + 1; }
+	print(counter);
+}
+`, rounds, workers, workers)
+	return &Workload{
+		Name:  "racy-ticker",
+		Desc:  fmt.Sprintf("%d workers × %d racy increments with per-iteration sync", workers, rounds),
+		Src:   src,
 		Procs: workers + 1,
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"ppd/internal/race"
 	"ppd/internal/replay"
 	"ppd/internal/source"
+	"ppd/internal/stream"
 	"ppd/internal/vm"
 )
 
@@ -95,6 +96,12 @@ type (
 	// per-opcode and opcode-pair execution counts plus superinstruction
 	// hits (`ppd stats -ops`). It feeds the profile-guided fusion table.
 	OpStats = obs.OpStats
+	// RaceEvent is one race as the online pipeline reports it, while the
+	// program is still running (Options.OnRace).
+	RaceEvent = stream.RaceEvent
+	// StreamResult is the online pipeline's final output: the canonical
+	// race set plus the frontier counters (Execution.OnlineResult).
+	StreamResult = stream.Result
 )
 
 // Options configures an execution.
@@ -142,6 +149,28 @@ type Options struct {
 	// in-memory records — load the sink's bytes back with Program.ReadLog
 	// before starting the debugging phase.
 	LogSink io.Writer
+
+	// Monitor runs the online analysis pipeline during RunLogged: the
+	// record stream is teed into an incremental graph builder and a
+	// frontier race detector that work concurrently with the run, with
+	// memory bounded by the synchronization frontier instead of the run
+	// length. The final race set (Execution.OnlineResult) is
+	// byte-identical to what Execution.Races computes after the fact.
+	// Implied by StopAtFirstRace and by a non-nil OnRace.
+	Monitor bool
+	// StopAtFirstRace cancels the run the moment the online detector
+	// classifies a race — monitoring a long execution costs only
+	// time-to-first-race. The returned Execution is valid (its partial
+	// log is well formed, exit records flushed) and reports
+	// StoppedAtRace.
+	StopAtFirstRace bool
+	// OnRace fires once per race as it is detected, while the program is
+	// still running. It runs on the pipeline goroutine; implementations
+	// should return quickly.
+	OnRace func(RaceEvent)
+	// StreamBatch is the tee's record batch size for the pipeline
+	// handoff; 0 selects the default (64), 1 minimizes time-to-first-race.
+	StreamBatch int
 }
 
 // optionErr builds the one validation-error shape every branch of validate
@@ -166,6 +195,9 @@ func (o Options) validate(art *compile.Artifacts) error {
 	}
 	if o.BreakAt < 0 {
 		return optionErr("BreakAt", o.BreakAt, "must be >= 0; 0 disables the breakpoint")
+	}
+	if o.StreamBatch < 0 {
+		return optionErr("StreamBatch", o.StreamBatch, "must be >= 0; 0 selects the default")
 	}
 	if o.BreakAt > 0 {
 		// Statement numbers live in the program database; a cache-loaded
@@ -315,10 +347,77 @@ func (p *Program) RunLoggedContext(ctx context.Context, opts Options) (*Executio
 	if opts.Trace != nil {
 		sink.SetTrace(opts.Trace)
 	}
-	v := vm.New(p.art.Prog, vmOptions(ctx, opts, vm.ModeLog, sink))
+	monitor := opts.Monitor || opts.StopAtFirstRace || opts.OnRace != nil
+	runCtx := ctx
+	var (
+		pipe   *stream.Pipeline
+		tee    *stream.Tee
+		cancel context.CancelFunc // set only for the first-race self-abort
+	)
+	if monitor {
+		// The online detector reuses the batch oracle's inputs: the static
+		// conflict mask (memoized by Vet) prunes buckets before they are
+		// materialized, and the variable names make the online report
+		// byte-identical to the batch one.
+		vet := p.Vet()
+		names := make([]string, len(p.art.Prog.Globals))
+		for i, g := range p.art.Prog.Globals {
+			names[i] = g.Name
+		}
+		if opts.StopAtFirstRace {
+			if runCtx == nil {
+				runCtx = context.Background()
+			}
+			runCtx, cancel = context.WithCancel(runCtx)
+			defer cancel()
+		}
+		userCB, selfCancel := opts.OnRace, cancel
+		pipe = stream.New(stream.Config{
+			NShared:  len(p.art.Prog.Globals),
+			Mask:     vet.Conflicts.Mask(),
+			VarNames: names,
+			Sink:     sink,
+			OnRace: func(ev RaceEvent) {
+				if userCB != nil {
+					userCB(ev)
+				}
+				if selfCancel != nil {
+					selfCancel()
+				}
+			},
+		})
+		batch := opts.StreamBatch
+		if batch == 0 && opts.StopAtFirstRace {
+			// An abort is only as prompt as the tee's handoff; per-record
+			// feeding minimizes the distance between a race happening and
+			// the run being cancelled.
+			batch = 1
+		}
+		tee = stream.NewTee(pipe, batch)
+	}
+	vo := vmOptions(runCtx, opts, vm.ModeLog, sink)
+	if tee != nil {
+		vo.Tap = tee.Tap
+	}
+	v := vm.New(p.art.Prog, vo)
 	runErr := v.Run()
-	e := &Execution{Program: p, vm: v, opts: opts, sink: sink}
+	var online *StreamResult
+	if tee != nil {
+		tee.Close() // drain the pipeline before reading its result
+		online = pipe.Finish()
+	}
+	e := &Execution{Program: p, vm: v, opts: opts, sink: sink, online: online}
 	if runErr != nil && v.Failure == nil && !v.Deadlock {
+		// The first-race self-abort shows up as a cancelled run, but it is
+		// a *successful* monitored outcome: the caller's own context is
+		// still live and the pipeline holds the race that triggered it.
+		// Even a cancelled run flushed its exit records, so the partial
+		// log is well formed and the online result equals the batch
+		// detector over that partial log.
+		if cancel != nil && (ctx == nil || ctx.Err() == nil) && online != nil && len(online.Races) > 0 {
+			e.stoppedAtRace = true
+			return e, nil
+		}
 		return nil, runErr // infrastructure error (cancelled, budget exhausted, ...)
 	}
 	return e, nil
@@ -350,8 +449,51 @@ type Execution struct {
 	opts    Options
 	sink    *obs.Sink // execution- and debugging-phase metrics
 
+	online        *StreamResult // set when the run was monitored
+	stoppedAtRace bool
+
 	ctl *controller.Controller
 }
+
+// Monitored reports whether the run carried the online analysis pipeline
+// (Options.Monitor, StopAtFirstRace, or OnRace).
+func (e *Execution) Monitored() bool { return e.online != nil }
+
+// OnlineResult returns the online pipeline's final output — the canonical
+// race set plus the frontier counters — or nil when the run was not
+// monitored. The race set is byte-identical (race.Report) to what the
+// batch detector computes over the same (possibly partial) log.
+func (e *Execution) OnlineResult() *StreamResult { return e.online }
+
+// OnlineRaces returns the online race set, or nil when not monitored.
+func (e *Execution) OnlineRaces() []*Race {
+	if e.online == nil {
+		return nil
+	}
+	return e.online.Races
+}
+
+// OnlineRaceReport renders the online race set with variable names — the
+// same format as RaceReport, but from the pipeline's result instead of a
+// batch pass over the log (and without instantiating the debugging-phase
+// controller). Empty when the run was not monitored.
+func (e *Execution) OnlineRaceReport() string {
+	if e.online == nil {
+		return ""
+	}
+	globals := e.Program.art.Prog.Globals
+	return race.Report(e.online.Races, func(gid int) string {
+		if gid >= 0 && gid < len(globals) {
+			return globals[gid].Name
+		}
+		return fmt.Sprintf("g%d", gid)
+	})
+}
+
+// StoppedAtRace reports whether Options.StopAtFirstRace halted the run
+// early: the execution is a valid partial run whose log ends at the
+// abort, and OnlineRaces holds the race(s) that triggered it.
+func (e *Execution) StoppedAtRace() bool { return e.stoppedAtRace }
 
 // Failed returns the runtime failure that halted the program, or nil.
 func (e *Execution) Failed() error {

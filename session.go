@@ -245,6 +245,55 @@ func (s *Session) Rerun(ctx context.Context, opts Options) error {
 	return nil
 }
 
+// StreamRaces is Rerun with the online analysis pipeline attached: the
+// already-compiled program runs again under opts with Monitor forced on,
+// fn (may be nil) receives each race as the frontier detector finds it —
+// while the run is still producing records — and the returned StreamResult
+// carries the final canonical race set plus the pipeline's counters. The
+// final set is byte-identical (through race.Report) to what the batch
+// detector computes from the same log.
+//
+// Concurrency mirrors Rerun exactly: the monitored run happens outside
+// the session lock, a second run in flight returns ErrSessionBusy, and a
+// Close that lands mid-run wins — the finished execution is discarded and
+// StreamRaces returns ErrSessionClosed (fn may already have observed
+// races by then; they were real).
+func (s *Session) StreamRaces(ctx context.Context, opts Options, fn func(RaceEvent)) (*StreamResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if s.rerunning {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: re-run already in flight", ErrSessionBusy)
+	}
+	s.rerunning = true
+	s.mu.Unlock()
+
+	opts.Monitor = true
+	opts.OnRace = fn
+	exec, err := s.prog.RunLoggedContext(ctx, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rerunning = false
+	if err != nil {
+		return nil, err
+	}
+	if s.closed {
+		if exec.ctl != nil {
+			exec.ctl.DropCache()
+		}
+		return nil, ErrSessionClosed
+	}
+	if s.exec.ctl != nil {
+		s.exec.ctl.DropCache()
+	}
+	s.exec = exec
+	return exec.OnlineResult(), nil
+}
+
 // Close releases the session's debugging-phase memory: the controller's
 // emulation cache is dropped (reported as debug.cache.evictions) and all
 // further queries return ErrSessionClosed. Close is idempotent and safe
