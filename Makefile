@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check dispatch serve serve-smoke stream stream-smoke
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check absint-check dispatch serve serve-smoke stream stream-smoke
 
 all: build
 
@@ -40,6 +40,17 @@ fusion-check:
 	$(GO) test -run TestFusionTableFresh ./internal/vm/
 	@echo "fusion-check: OK"
 
+# Abstract-interpretation gate: the engine's own unit suite, the fuzz
+# targets' seed corpora, the vet golden matrix (which pins the four
+# absint-backed passes), the lockset-pruning equivalence tests, and the
+# certificate-widened fused-vs-unfused byte-identity checks.
+absint-check:
+	$(GO) test ./internal/analysis/absint/
+	$(GO) test -run 'TestVetGolden|TestVetAcceptance' ./internal/analysis/
+	$(GO) test -run 'TestMaskedEquivalentToUnfiltered|TestLocksetPrunesGuardedCounter' ./internal/race/
+	$(GO) test -run 'TestLogGoldenFusedVsUnfused|TestRacesFusedVsUnfused|TestFusionCoverage' ./internal/vm/
+	@echo "absint-check: OK"
+
 # Coverage profile + per-package summary. internal/obs is the metrics
 # contract every phase reports through, so it carries a hard floor.
 OBS_COVER_FLOOR = 80
@@ -63,7 +74,7 @@ vet-mpl: build
 	fi
 	@echo "vet-mpl: OK"
 
-ci: check cover bench-smoke vet-mpl cache-check serve-smoke stream-smoke
+ci: check cover bench-smoke vet-mpl absint-check cache-check serve-smoke stream-smoke
 	@echo "ci: OK"
 
 # Online-pipeline gate: a live monitored run end-to-end (ppd watch), the

@@ -360,6 +360,8 @@ func cmdStats(args []string) error {
 			func(op int) string { return bytecode.Op(op).String() },
 			func(op int) string { return bytecode.SuperOp(op).String() },
 		))
+		fmt.Printf("fusion: %d window(s) admitted only by absint certificates\n",
+			prog.CompileStats().Counters["fusion.windows.widened"])
 		return nil
 	}
 	opts := ppd.Options{Seed: *seed, Quantum: *quantum, Monitor: *monitor}

@@ -7,6 +7,8 @@ import (
 	"os"
 
 	"ppd/internal/analysis"
+	"ppd/internal/compile"
+	"ppd/internal/eblock"
 	"ppd/internal/obs"
 )
 
@@ -35,11 +37,18 @@ func runVet(args []string, w io.Writer) (strictFailed bool, err error) {
 	if fs.NArg() != 1 {
 		return false, fmt.Errorf("vet: need one source file")
 	}
-	art, err := compileFile(fs.Arg(0))
+	f, err := loadFile(fs.Arg(0))
 	if err != nil {
 		return false, err
 	}
+	// Compile under the same sink so -timings can report the abstract
+	// interpretation pass, which runs in the preparatory phase (its facts
+	// feed fusion certificates there) and is only reused by vet.
 	sink := obs.New()
+	art, err := compile.CompileWithObs(f, eblock.DefaultConfig(), sink)
+	if err != nil {
+		return false, err
+	}
 	res := art.Vet(sink)
 	if *jsonOut {
 		data, jerr := res.JSON()
@@ -52,6 +61,14 @@ func runVet(args []string, w io.Writer) (strictFailed bool, err error) {
 	}
 	if *timings && !*jsonOut {
 		snap := sink.Snapshot()
+		// The abstract interpreter ran once in the preparatory phase
+		// (compile.absint) or, on a facts-less artifact, inside Analyze
+		// (analysis.absint); report whichever scope fired.
+		for _, scope := range []string{"compile.absint", "analysis.absint"} {
+			if ts, ok := snap.Timers[scope]; ok {
+				fmt.Fprintf(w, "pass %-10s %v\n", "absint", ts.Total())
+			}
+		}
 		for _, pass := range analysis.PassNames() {
 			if ts, ok := snap.Timers["analysis."+pass]; ok {
 				fmt.Fprintf(w, "pass %-10s %v\n", pass, ts.Total())

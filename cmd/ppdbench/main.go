@@ -693,12 +693,17 @@ func obsOverhead(w io.Writer) {
 		100*float64(rOn-rOff)/float64(rOff))
 }
 
-// vetprune is E16: static conflict pruning of the dynamic race detector.
-// The conflict-sparse sharded workload (each worker owns its shard, so the
-// conflict matrix is empty) is the payoff case; the conflict-dense racy
-// counter (every process hits one variable) bounds the cost of a mask that
-// prunes nothing. Reports static-analysis time, unpruned vs pruned Indexed
-// detection, and the pruned bucket count; writes BENCH_analysis.json.
+// vetprune is E16 (extended by E21): static conflict pruning of the
+// dynamic race detector. The conflict-sparse sharded workload (each
+// worker owns its shard, so the conflict matrix is empty) is the
+// disjointness payoff case; the conflict-dense racy counter (every
+// process hits one variable) bounds the cost of a mask that prunes
+// nothing; and the guarded counter is the lockset payoff case — the same
+// contended variable as the racy counter, but every access holds the
+// mutex, so the abstract interpreter's lockset analysis empties the mask
+// and the detector skips every bucket. Reports static-analysis time,
+// unpruned vs pruned Indexed detection, and the pruned bucket count;
+// writes BENCH_analysis.json.
 func vetprune(w io.Writer) {
 	fmt.Fprintln(w, "=== E16: static conflict pruning of dynamic race detection ===")
 	fmt.Fprintf(w, "%-16s %12s %12s %12s %8s %8s %6s\n",
@@ -720,6 +725,7 @@ func vetprune(w io.Writer) {
 	for _, wl := range []*workloads.Workload{
 		workloads.Sharded(24, 400),
 		workloads.RacyCounter(8, 200, false),
+		workloads.GuardedCounter(8, 200),
 	} {
 		inst, err := compile.CompileSource(wl.Name, wl.Src, eblock.Config{})
 		if err != nil {

@@ -1,0 +1,341 @@
+package absint
+
+import (
+	"strings"
+	"testing"
+
+	"ppd/internal/ast"
+	"ppd/internal/parser"
+	"ppd/internal/pdg"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+)
+
+func buildFacts(t *testing.T, src string) (*Facts, *pdg.Program) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	prog := parser.ParseString("test.mpl", src, errs)
+	info := sem.Check(prog, errs)
+	if errs.ErrCount() != 0 {
+		t.Fatalf("front-end errors:\n%v", errs.Err())
+	}
+	p := pdg.Build(info)
+	return Analyze(p), p
+}
+
+func findingsFor(f *Facts, pass string) []Finding {
+	var out []Finding
+	for _, fd := range f.Findings {
+		if fd.Pass == pass {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+func TestDivzeroClassification(t *testing.T) {
+	facts, _ := buildFacts(t, `
+func f(k int) int {
+	return 100 / k;
+}
+func main() {
+	var d = 0;
+	var x = 10 / d;
+	var y = 10;
+	var z = 5 / y;
+	print(f(4) + x + z);
+}
+`)
+	fs := findingsFor(facts, "divzero")
+	if len(fs) != 2 {
+		t.Fatalf("divzero findings = %d, want 2:\n%v", len(fs), fs)
+	}
+	var warns, infos int
+	for _, fd := range fs {
+		if fd.Warn {
+			warns++
+			if !strings.Contains(fd.Message, "always 0") {
+				t.Errorf("warn message = %q", fd.Message)
+			}
+		} else {
+			infos++
+			if !strings.Contains(fd.Message, "possible division") {
+				t.Errorf("info message = %q", fd.Message)
+			}
+		}
+	}
+	if warns != 1 || infos != 1 {
+		t.Errorf("warns=%d infos=%d, want 1/1", warns, infos)
+	}
+	// z = 5 / y is proven safe: exactly one statement carries a div cert.
+	if len(facts.DivSafe) != 1 {
+		t.Errorf("DivSafe = %v, want exactly one certified statement", facts.DivSafe)
+	}
+}
+
+func TestInterproceduralReturnRange(t *testing.T) {
+	facts, _ := buildFacts(t, `
+func ten() int { return 10; }
+func main() {
+	var d = ten();
+	print(100 / d);
+}
+`)
+	if fs := findingsFor(facts, "divzero"); len(fs) != 0 {
+		t.Fatalf("divzero findings = %v, want none (return value is constant 10)", fs)
+	}
+	if len(facts.DivSafe) != 1 {
+		t.Errorf("DivSafe = %v, want the division certified", facts.DivSafe)
+	}
+}
+
+func TestBoundsClassification(t *testing.T) {
+	facts, _ := buildFacts(t, `
+var a[8];
+func main() {
+	var i = 0;
+	while (i < 8) {
+		a[i] = i;
+		i = i + 1;
+	}
+	a[9] = 1;
+	print(a[0]);
+}
+`)
+	fs := findingsFor(facts, "bounds")
+	if len(fs) != 1 || !fs[0].Warn {
+		t.Fatalf("bounds findings = %v, want one warning for a[9]", fs)
+	}
+	if !strings.Contains(fs[0].Message, "length 8") {
+		t.Errorf("message = %q", fs[0].Message)
+	}
+	// a[i] in the loop and a[0] in print are both proven in bounds.
+	if len(facts.IdxSafe) != 2 {
+		t.Errorf("IdxSafe = %v, want two certified statements", facts.IdxSafe)
+	}
+}
+
+func TestDeadBranch(t *testing.T) {
+	facts, _ := buildFacts(t, `
+func main() {
+	var x = 3;
+	var y = x * 2;
+	if (y < 3) {
+		print(999);
+	}
+	print(y);
+}
+`)
+	fs := findingsFor(facts, "deadbranch")
+	if len(fs) != 2 {
+		t.Fatalf("deadbranch findings = %v, want const-cond + dead-code", fs)
+	}
+	var sawCond, sawDead bool
+	for _, fd := range fs {
+		switch fd.Code {
+		case "const-cond":
+			sawCond = true
+			if !fd.Warn || !strings.Contains(fd.Message, "always false") {
+				t.Errorf("const-cond finding = %+v", fd)
+			}
+		case "dead-code":
+			sawDead = true
+			if fd.Warn {
+				t.Errorf("dead-code should be info: %+v", fd)
+			}
+		}
+	}
+	if !sawCond || !sawDead {
+		t.Errorf("missing finding kinds: cond=%t dead=%t", sawCond, sawDead)
+	}
+}
+
+func TestLiteralLoopCondNotReported(t *testing.T) {
+	facts, _ := buildFacts(t, `
+func main() {
+	var i = 0;
+	while (true) {
+		i = i + 1;
+		if (i > 3) { break; }
+	}
+	print(i);
+}
+`)
+	for _, fd := range findingsFor(facts, "deadbranch") {
+		if fd.Code == "const-cond" {
+			t.Fatalf("while(true) must not report const-cond: %+v", fd)
+		}
+	}
+}
+
+const guardedSrc = `
+shared counter;
+sem m = 1;
+sem done = 0;
+func w() {
+	var i = 0;
+	while (i < 5) {
+		P(m);
+		counter = counter + 1;
+		V(m);
+		i = i + 1;
+	}
+	V(done);
+}
+func main() {
+	spawn w();
+	spawn w();
+	var d = 0;
+	while (d < 2) { P(done); d = d + 1; }
+	P(m);
+	print(counter);
+	V(m);
+}
+`
+
+func TestLocksetGuarded(t *testing.T) {
+	facts, p := buildFacts(t, guardedSrc)
+	if len(facts.Guarded) != 1 {
+		t.Fatalf("Guarded = %v, want exactly counter", facts.Guarded)
+	}
+	g := facts.Guarded[0]
+	if p.Info.Globals[g.Gid].Name != "counter" || p.Info.Globals[g.Sem].Name != "m" {
+		t.Errorf("guarded %s by %s, want counter by m",
+			p.Info.Globals[g.Gid].Name, p.Info.Globals[g.Sem].Name)
+	}
+	if facts.LocksetStmts == 0 {
+		t.Error("LocksetStmts = 0, want statements under a held lock")
+	}
+}
+
+func TestLocksetUnguardedReader(t *testing.T) {
+	// Same program but main reads counter without holding m: not guarded.
+	src := strings.Replace(guardedSrc, "P(m);\n\tprint(counter);\n\tV(m);", "print(counter);", 1)
+	if !strings.Contains(src, "print(counter);") || strings.Count(src, "P(m)") != 1 {
+		t.Fatal("test source edit did not apply")
+	}
+	facts, _ := buildFacts(t, src)
+	if len(facts.Guarded) != 0 {
+		t.Fatalf("Guarded = %v, want none (main reads unguarded)", facts.Guarded)
+	}
+}
+
+func TestLocksetSignalSemaphoreExcluded(t *testing.T) {
+	// done starts at 0: ordering, not mutual exclusion. An access "under"
+	// it must not count as guarded.
+	facts, _ := buildFacts(t, `
+shared g;
+sem done = 0;
+func w() {
+	g = 1;
+	V(done);
+}
+func main() {
+	spawn w();
+	P(done);
+	print(g);
+}
+`)
+	if len(facts.Guarded) != 0 {
+		t.Fatalf("Guarded = %v, want none (done is a signal semaphore)", facts.Guarded)
+	}
+}
+
+func TestVDisciplineViolationDisqualifies(t *testing.T) {
+	// main V's m without holding it (count can reach 2), so m must not be
+	// treated as a lock even though w's accesses sit inside P/V.
+	facts, _ := buildFacts(t, `
+shared counter;
+sem m = 1;
+sem done = 0;
+func w() {
+	P(m);
+	counter = counter + 1;
+	V(m);
+	V(done);
+}
+func main() {
+	spawn w();
+	spawn w();
+	V(m);
+	P(done); P(done);
+	P(m);
+	print(counter);
+	V(m);
+}
+`)
+	if len(facts.Guarded) != 0 {
+		t.Fatalf("Guarded = %v, want none (V-discipline violated)", facts.Guarded)
+	}
+}
+
+func TestWideningTerminatesOnNestedLoops(t *testing.T) {
+	facts, _ := buildFacts(t, `
+func main() {
+	var i = 0;
+	var s = 0;
+	while (i < 100) {
+		var j = 0;
+		while (j < i) {
+			s = s + j;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	print(s / (i + 1));
+}
+`)
+	// i in [0,100] at exit, so i+1 in [1,101] is a certified divisor.
+	if fs := findingsFor(facts, "divzero"); len(fs) != 0 {
+		t.Fatalf("divzero findings = %v, want none", fs)
+	}
+	if len(facts.DivSafe) != 1 {
+		t.Errorf("DivSafe = %v, want the division certified", facts.DivSafe)
+	}
+}
+
+func TestDeterministicDump(t *testing.T) {
+	for _, src := range []string{guardedSrc, `
+var a[4];
+func mix(k int) int {
+	if (k > 2) { return k; }
+	return 7;
+}
+func main() {
+	var i = 0;
+	while (i < 4) {
+		a[i] = mix(i) / 7;
+		i = i + 1;
+	}
+	print(a[3]);
+}
+`} {
+		errs := &source.ErrorList{}
+		prog := parser.ParseString("t.mpl", src, errs)
+		info := sem.Check(prog, errs)
+		if errs.ErrCount() != 0 {
+			t.Fatalf("front-end errors:\n%v", errs.Err())
+		}
+		p := pdg.Build(info)
+		d1 := Analyze(p).Dump()
+		d2 := Analyze(p).Dump()
+		if d1 != d2 {
+			t.Fatalf("nondeterministic facts:\n--- run1\n%s\n--- run2\n%s", d1, d2)
+		}
+	}
+}
+
+func TestCertStmtIDsMatchAST(t *testing.T) {
+	facts, p := buildFacts(t, `
+func main() {
+	var y = 10;
+	print(5 / y);
+}
+`)
+	for id := range facts.DivSafe {
+		if p.Info.Prog.StmtByID(id) == nil {
+			t.Errorf("DivSafe references unknown stmt %d", id)
+		}
+	}
+	var _ ast.StmtID // keep import if the loop body changes
+}

@@ -1,0 +1,53 @@
+package absint
+
+import (
+	"testing"
+
+	"ppd/internal/mplgen"
+	"ppd/internal/parser"
+	"ppd/internal/pdg"
+	"ppd/internal/sem"
+	"ppd/internal/source"
+	"ppd/internal/workloads"
+)
+
+// FuzzAbsint feeds arbitrary MPL through the abstract interpreter and
+// checks its two load-bearing engine properties on everything that gets
+// past the front end: the widening/narrowing fixpoint terminates (a
+// divergent loop would hang the fuzzer, and the iteration cap would
+// panic first), and the result is deterministic — two runs over the
+// same PDG must produce byte-identical fact dumps, since the facts are
+// hashed into fusion certificates and cache keys. The seed corpus is
+// the standard workloads plus the mplgen generator's three program
+// families, so the fuzzer starts from every loop/branch/sync shape the
+// project exercises.
+func FuzzAbsint(f *testing.F) {
+	for _, wl := range workloads.Standard() {
+		f.Add(wl.Src)
+	}
+	f.Add(workloads.GuardedCounter(2, 5).Src)
+	for seed := int64(0); seed < 5; seed++ {
+		f.Add(mplgen.Generate(seed, mplgen.DefaultConfig()))
+		f.Add(mplgen.Generate(seed, mplgen.RacyConfig()))
+		f.Add(mplgen.Generate(seed, mplgen.ParallelConfig()))
+	}
+	f.Add("func f(k int) int { return 1 / k; }\nfunc main() { print(f(0)); }")
+	f.Add("var a[4];\nfunc main() { var i = 0; while (i < 4) { a[i] = i; i = i + 1; } }")
+	f.Add("shared g;\nsem m = 1;\nfunc main() { P(m); g = 1; V(m); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		errs := &source.ErrorList{}
+		prog := parser.ParseString("fuzz.mpl", src, errs)
+		info := sem.Check(prog, errs)
+		if errs.ErrCount() != 0 {
+			return // front-end rejection is fine; panics and hangs are not
+		}
+		p := pdg.Build(info)
+		first := Analyze(p)
+		if got := Analyze(p).Dump(); got != first.Dump() {
+			t.Fatalf("fixpoint is nondeterministic:\nfirst:\n%s\nsecond:\n%s", first.Dump(), got)
+		}
+		if first.Intervals < 0 || first.NonzeroFacts < 0 || first.LocksetStmts < 0 {
+			t.Fatalf("negative fact counters: %+v", first)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ppd/internal/analysis/absint"
+)
+
+// The absint-backed passes. The abstract interpreter (analysis/absint)
+// runs once per analysis — either handed in by the compile pipeline,
+// which also feeds its safety certificates to the fusion pass, or
+// computed lazily here — and these passes render its findings through
+// the shared Diagnostic machinery so positions, sorting, -strict exit
+// codes, and the progdb cache all treat them like any other pass.
+
+// absfacts returns the abstract-interpretation facts, computing them on
+// first use when the caller did not supply a precomputed set.
+func (c *context) absfacts() *absint.Facts {
+	if c.facts == nil {
+		c.facts = absint.Analyze(c.p)
+	}
+	return c.facts
+}
+
+// findingDiags converts the engine's raw findings for one pass into
+// diagnostics. The engine reports byte offsets; the context owns the
+// line/column mapping.
+func findingDiags(c *context, pass string) []*Diagnostic {
+	var out []*Diagnostic
+	for _, fd := range c.absfacts().Findings {
+		if fd.Pass != pass {
+			continue
+		}
+		sev := Info
+		if fd.Warn {
+			sev = Warning
+		}
+		out = append(out, &Diagnostic{
+			Code:    fd.Code,
+			Sev:     sev,
+			Pos:     c.pos(fd.Pos),
+			Message: fd.Message,
+		})
+	}
+	return out
+}
+
+// divzeroPass reports divisions whose abstract divisor range contains
+// zero: a warning when the divisor is provably zero, an info when zero
+// is merely possible.
+func divzeroPass(c *context) []*Diagnostic { return findingDiags(c, "divzero") }
+
+// boundsPass reports indexed accesses whose abstract index range falls
+// outside the array: a warning when provably out of range (in-range
+// accesses earn fusion certificates instead of diagnostics).
+func boundsPass(c *context) []*Diagnostic { return findingDiags(c, "bounds") }
+
+// deadbranchPass reports conditions with a constant abstract truth value
+// and the statements they render unreachable.
+func deadbranchPass(c *context) []*Diagnostic { return findingDiags(c, "deadbranch") }
+
+// locksetPass reports shared variables whose every reachable access
+// provably holds a common lock-like semaphore. These are the variables
+// the conflict mask drops (see buildConflicts), so the info both
+// documents the discipline and explains the missing race-candidate line.
+func locksetPass(c *context) []*Diagnostic {
+	var out []*Diagnostic
+	for _, g := range c.absfacts().Guarded {
+		out = append(out, &Diagnostic{
+			Code: "lock-guarded",
+			Sev:  Info,
+			Pos:  c.declPos(g.Gid),
+			Message: fmt.Sprintf("shared variable '%s' is consistently guarded by semaphore '%s'; pruned from race candidates",
+				c.globalName(g.Gid), c.globalName(g.Sem)),
+			Related: []Related{{
+				Pos:     c.declPos(g.Sem),
+				Message: fmt.Sprintf("semaphore '%s' declared here", c.globalName(g.Sem)),
+			}},
+		})
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"ppd/internal/analysis/absint"
 	"ppd/internal/bytecode"
 	"ppd/internal/obs"
 	"ppd/internal/pdg"
@@ -87,6 +88,10 @@ var passes = []pass{
 	{"synclint", "semaphore lock-order cycles and unmatched P/V", synclintPass},
 	{"uninit", "uninitialized shared reads via reaching definitions", uninitPass},
 	{"deadstore", "dead stores and unused shared variables", deadstorePass},
+	{"divzero", "divisions whose abstract divisor range contains zero", divzeroPass},
+	{"bounds", "indexed accesses outside the array's abstract bounds", boundsPass},
+	{"deadbranch", "constant conditions and unreachable statements", deadbranchPass},
+	{"lockset", "shared accesses provably under a common semaphore", locksetPass},
 }
 
 // PassNames lists the analysis passes in execution order.
@@ -98,6 +103,15 @@ func PassNames() []string {
 	return out
 }
 
+// FactsCounts summarizes the abstract-interpretation facts behind the
+// absint-backed passes, surfaced in -json as facts.* and persisted with
+// the cached vet result.
+type FactsCounts struct {
+	Intervals int // bounded interval facts over reachable states
+	Nonzero   int // nonzero facts over reachable states
+	Locksets  int // statements analyzed under a nonempty must-held lockset
+}
+
 // Result bundles one full analysis run.
 type Result struct {
 	Diagnostics []*Diagnostic
@@ -106,6 +120,8 @@ type Result struct {
 	Conflicts *ConflictMatrix
 	// PerPass counts diagnostics by pass name.
 	PerPass map[string]int
+	// Facts counts the abstract-interpretation facts the run computed.
+	Facts FactsCounts
 }
 
 // Analyze runs every pass over a compiled program. p and bprog come from
@@ -113,11 +129,32 @@ type Result struct {
 // "analysis.<pass>" scope per pass plus an "analysis.total" scope and
 // "analysis.diags" counter.
 func Analyze(p *pdg.Program, bprog *bytecode.Program, sink *obs.Sink) *Result {
+	return AnalyzeWithFacts(p, bprog, sink, nil)
+}
+
+// AnalyzeWithFacts is Analyze with a precomputed abstract-interpretation
+// result — the compile pipeline runs the engine once and shares it
+// between fusion widening and the vet passes. A nil facts runs the
+// engine here under its own "analysis.absint" scope.
+func AnalyzeWithFacts(p *pdg.Program, bprog *bytecode.Program, sink *obs.Sink, facts *absint.Facts) *Result {
 	total := sink.Scope("analysis.total")
 	defer total.End()
 
 	ctx := newContext(p, bprog)
-	res := &Result{PerPass: make(map[string]int, len(passes))}
+	if facts == nil {
+		sc := sink.Scope("analysis.absint")
+		facts = absint.Analyze(p)
+		sc.End()
+	}
+	ctx.facts = facts
+	res := &Result{
+		PerPass: make(map[string]int, len(passes)),
+		Facts: FactsCounts{
+			Intervals: facts.Intervals,
+			Nonzero:   facts.NonzeroFacts,
+			Locksets:  facts.LocksetStmts,
+		},
+	}
 	for _, ps := range passes {
 		sc := sink.Scope("analysis." + ps.name)
 		ds := ps.run(ctx)
@@ -199,6 +236,13 @@ type jsonRelate struct {
 	Message string `json:"message"`
 }
 
+// jsonFacts is the wire shape of the abstract-interpretation counters.
+type jsonFacts struct {
+	Intervals int `json:"intervals"`
+	Nonzero   int `json:"nonzero"`
+	Locksets  int `json:"locksets"`
+}
+
 // JSON renders the result for machine consumption (`ppd vet -json`).
 func (r *Result) JSON() ([]byte, error) {
 	w, i := r.Counts()
@@ -208,12 +252,18 @@ func (r *Result) JSON() ([]byte, error) {
 		Infos       int            `json:"infos"`
 		PerPass     map[string]int `json:"per_pass"`
 		Candidates  int            `json:"race_candidate_vars"`
+		Facts       jsonFacts      `json:"facts"`
 	}{
 		Diagnostics: []jsonDiag{},
 		Warnings:    w,
 		Infos:       i,
 		PerPass:     r.PerPass,
 		Candidates:  r.Conflicts.NumCandidates(),
+		Facts: jsonFacts{
+			Intervals: r.Facts.Intervals,
+			Nonzero:   r.Facts.Nonzero,
+			Locksets:  r.Facts.Locksets,
+		},
 	}
 	for _, d := range r.Diagnostics {
 		jd := jsonDiag{

@@ -31,12 +31,23 @@ type ConflictPair struct {
 	Vars *bitset.Set
 }
 
+// LockGuard records one variable dropped from the conflict mask because
+// the lockset analysis proved every reachable access holds semaphore Sem
+// (both are GlobalIDs).
+type LockGuard struct {
+	Gid int
+	Sem int
+}
+
 // ConflictMatrix is the racecand pass's product: per-variable static
 // conflict facts plus the projection the dynamic detectors consume.
 type ConflictMatrix struct {
 	NumGlobals int
 	Classes    []procClass
 	Pairs      []ConflictPair
+	// Guarded lists the variables the lockset analysis pruned from the
+	// mask (and from Pairs), with the semaphore that guards each.
+	Guarded []LockGuard
 
 	mask *bitset.Set
 }
@@ -81,6 +92,9 @@ func (m *ConflictMatrix) String() string {
 	}
 	for _, p := range m.Pairs {
 		fmt.Fprintf(&sb, "  conflict %s x %s on %s\n", m.Classes[p.A].Entry, m.Classes[p.B].Entry, p.Vars)
+	}
+	for _, g := range m.Guarded {
+		fmt.Fprintf(&sb, "  pruned var %d (lock-guarded by sem %d)\n", g.Gid, g.Sem)
 	}
 	return sb.String()
 }
@@ -144,6 +158,28 @@ func buildConflicts(c *context) *ConflictMatrix {
 				m.mask.UnionWith(vars)
 			}
 		}
+	}
+
+	// Lockset sharpening: a variable whose every reachable access provably
+	// holds a common lock-like semaphore cannot be accessed concurrently
+	// (absint/lockset.go carries the argument), so its detector buckets are
+	// provably empty — drop it from the pairs and the mask. FromWire
+	// rebuilds the mask as the union of pair variable sets, so pruning both
+	// keeps decoded matrices consistent with fresh ones.
+	for _, g := range c.absfacts().Guarded {
+		if !m.mask.Has(g.Gid) {
+			continue
+		}
+		m.Guarded = append(m.Guarded, LockGuard{Gid: g.Gid, Sem: g.Sem})
+		m.mask.Remove(g.Gid)
+		kept := m.Pairs[:0]
+		for _, p := range m.Pairs {
+			p.Vars.Remove(g.Gid)
+			if !p.Vars.IsEmpty() {
+				kept = append(kept, p)
+			}
+		}
+		m.Pairs = kept
 	}
 	return m
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"ppd/internal/analysis/absint"
 	"ppd/internal/ast"
 	"ppd/internal/bitset"
 	"ppd/internal/bytecode"
@@ -41,6 +42,10 @@ type context struct {
 
 	// conflicts is filled by the racecand pass.
 	conflicts *ConflictMatrix
+
+	// facts holds the abstract-interpretation results; set up front by
+	// AnalyzeWithFacts or computed on first use (absfacts).
+	facts *absint.Facts
 }
 
 func newContext(p *pdg.Program, bprog *bytecode.Program) *context {

@@ -57,12 +57,14 @@ func goldenPrograms(t *testing.T) []goldenProgram {
 		workloads.Sharded(4, 40),
 		workloads.RacyCounter(3, 25, false),
 		workloads.RacyCounter(3, 25, true),
+		workloads.GuardedCounter(3, 25),
 	)
 	for _, wl := range wls {
 		name := "workload_" + strings.NewReplacer("-", "_", "x", "x").Replace(wl.Name)
 		out = append(out, goldenProgram{name: name, src: wl.Src})
 	}
-	for _, td := range []string{"quick", "crash", "racy"} {
+	for _, td := range []string{"quick", "crash", "racy",
+		"absint_divzero", "absint_divsafe", "absint_bounds", "absint_guarded"} {
 		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", td+".mpl"))
 		if err != nil {
 			t.Fatalf("read testdata %s: %v", td, err)
@@ -111,9 +113,12 @@ func TestVetGolden(t *testing.T) {
 	}
 }
 
-// TestVetAcceptance pins the two behaviors the golden matrix must never
+// TestVetAcceptance pins the behaviors the golden matrix must never
 // drift away from: the deadlock example is flagged with a lock-cycle
-// diagnostic carrying source positions, and quickstart is fully clean.
+// diagnostic carrying source positions, and quickstart stays clean under
+// -strict (zero warnings; the abstract interpreter's "possible division
+// by zero" info on the example's intentional bug line is allowed — and
+// wanted, since it points at the very division the debugger then traces).
 func TestVetAcceptance(t *testing.T) {
 	dead := vetText(t, "deadlock", exampleSource(t, "deadlock"))
 	if !strings.Contains(dead, "[lock-cycle]") {
@@ -125,9 +130,12 @@ func TestVetAcceptance(t *testing.T) {
 	if !strings.Contains(dead, "while holding") {
 		t.Errorf("lock-cycle diagnostic should explain the held-acquire edges:\n%s", dead)
 	}
-	quick := vetText(t, "quickstart", exampleSource(t, "quickstart"))
-	if quick != "no diagnostics\n" {
-		t.Errorf("quickstart must report zero diagnostics, got:\n%s", quick)
+	art, err := compile.CompileSource("quickstart.mpl", exampleSource(t, "quickstart"), eblock.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := art.Vet(nil).Counts(); w != 0 {
+		t.Errorf("quickstart must report zero warnings, got:\n%s", art.Vet(nil).Text())
 	}
 }
 

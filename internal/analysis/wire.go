@@ -14,6 +14,7 @@ type ConflictWire struct {
 	NumGlobals int
 	Classes    []ClassWire
 	Pairs      []PairWire
+	Guarded    []LockGuard
 }
 
 // ClassWire is one process class with its read/write sets as element lists.
@@ -47,6 +48,7 @@ func (m *ConflictMatrix) Wire() *ConflictWire {
 	for _, p := range m.Pairs {
 		w.Pairs = append(w.Pairs, PairWire{A: p.A, B: p.B, Vars: p.Vars.Elems()})
 	}
+	w.Guarded = append(w.Guarded, m.Guarded...)
 	return w
 }
 
@@ -72,5 +74,6 @@ func FromWire(w *ConflictWire) *ConflictMatrix {
 		m.Pairs = append(m.Pairs, ConflictPair{A: p.A, B: p.B, Vars: vars})
 		m.mask.UnionWith(vars)
 	}
+	m.Guarded = append(m.Guarded, w.Guarded...)
 	return m
 }

@@ -212,6 +212,11 @@ type Program struct {
 	Strings []string
 	Blocks  []*BlockMeta // indexed by e-block ID
 	MainIdx int
+
+	// WidenedSuper counts fused sites admitted only by an absint safety
+	// certificate (set by FuseCert, persisted by the artifact codec so a
+	// warm cache load reports the same fusion.windows.widened counter).
+	WidenedSuper int
 }
 
 // FuncByName returns the compiled function, or nil.

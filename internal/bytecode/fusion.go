@@ -15,18 +15,27 @@
 // which keeps step counts, e-block boundaries, and ModeLog output
 // byte-identical with fusion on or off.
 //
-// Only sequences that cannot fail are fused: local and scalar-global
-// loads, local stores, constants, the non-trapping binops, compares, and
-// JmpFalse. Div and Mod are admitted only in their constant-operand forms
-// and only when the constant is non-zero (checked at fusion time), so a
-// fused sequence can never contain a failure site — failures always take
-// the single-op path and report identical PCs.
+// Only sequences that cannot fail are fused unconditionally: local and
+// scalar-global loads, local stores, constants, the non-trapping binops,
+// compares, and JmpFalse. Div and Mod are admitted in their
+// constant-operand forms when the constant is non-zero (checked at fusion
+// time). Beyond that, FuseCert accepts a SafetyCert — per-statement
+// proofs from the abstract interpreter (internal/analysis/absint) that a
+// division's divisor is nonzero or an indexed access is in bounds — which
+// widens fusion to the certified div/mod and indexed-window shapes
+// (SuperLLDivS…SuperIdxStoreG). Certified windows still carry the full
+// single-op failure protocol as defense in depth: if a certificate is
+// ever wrong, the handler reconstructs the exact single-op failure state
+// (pc, step count, stack) instead of trapping, so failure reports stay
+// byte-identical either way.
 package bytecode
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ppd/internal/ast"
 )
 
 // SuperOp identifies a superinstruction shape. The Bin field of the
@@ -52,6 +61,17 @@ const (
 	SuperConstStoreL // const K; storel A                 → slots[A] = K
 	SuperCmpJf       // cmp; jmpf T                       → pops both operands
 
+	// Certificate-gated shapes: emitted only when a SafetyCert proves the
+	// trapping constituent (div/mod, indexed access) cannot fail.
+	SuperLLDivS    // loadl A; loadl B; div|mod; storel C → slots[C] = slots[A] ∘ slots[B]
+	SuperLLDiv     // loadl A; loadl B; div|mod           → push slots[A] ∘ slots[B]
+	SuperLGDiv     // loadl A; loadg B; div|mod           → push slots[A] ∘ globals[B]
+	SuperLDiv      // loadl A; div|mod                    → tos = tos ∘ slots[A]
+	SuperIdxLoadL  // loadl B; loadxl A                   → push slots[A].arr[slots[B]]
+	SuperIdxLoadG  // loadl B; loadxg A                   → push globals[A].arr[slots[B]]
+	SuperIdxStoreL // loadl B; loadl C; storexl A        → slots[A].arr[slots[B]] = slots[C]
+	SuperIdxStoreG // loadl B; loadl C; storexg A        → globals[A].arr[slots[B]] = slots[C]
+
 	NumSuperOps
 )
 
@@ -69,6 +89,14 @@ var superNames = [NumSuperOps]string{
 	SuperCBin:        "cbin",
 	SuperConstStoreL: "conststorel",
 	SuperCmpJf:       "cmpjf",
+	SuperLLDivS:      "lldivs",
+	SuperLLDiv:       "lldiv",
+	SuperLGDiv:       "lgdiv",
+	SuperLDiv:        "ldiv",
+	SuperIdxLoadL:    "idxloadl",
+	SuperIdxLoadG:    "idxloadg",
+	SuperIdxStoreL:   "idxstorel",
+	SuperIdxStoreG:   "idxstoreg",
 }
 
 // superGoNames are the exported identifiers, for generated source.
@@ -86,6 +114,14 @@ var superGoNames = [NumSuperOps]string{
 	SuperCBin:        "SuperCBin",
 	SuperConstStoreL: "SuperConstStoreL",
 	SuperCmpJf:       "SuperCmpJf",
+	SuperLLDivS:      "SuperLLDivS",
+	SuperLLDiv:       "SuperLLDiv",
+	SuperLGDiv:       "SuperLGDiv",
+	SuperLDiv:        "SuperLDiv",
+	SuperIdxLoadL:    "SuperIdxLoadL",
+	SuperIdxLoadG:    "SuperIdxLoadG",
+	SuperIdxStoreL:   "SuperIdxStoreL",
+	SuperIdxStoreG:   "SuperIdxStoreG",
 }
 
 func (o SuperOp) String() string {
@@ -172,26 +208,60 @@ func (t *FusionTable) enabled() (en [NumSuperOps]bool) {
 	return en
 }
 
+// SafetyCert carries the abstract interpreter's per-statement proofs that
+// widen fusion beyond the syntactically infallible shapes. Div[id] means
+// every division/modulo in statement id has a provably nonzero divisor;
+// Idx[id] means every indexed access in it is provably in bounds. The
+// statement granularity is sound for fused windows because within one MPL
+// statement the operand slots a window reads cannot change between the
+// statement's entry (where the facts hold) and the trapping instruction:
+// locals are only written by the statement's trailing store, and a
+// certified global divisor is by construction never written anywhere in
+// the program.
+type SafetyCert struct {
+	Div map[ast.StmtID]bool
+	Idx map[ast.StmtID]bool
+}
+
+func (c *SafetyCert) divOK(in *Instr) bool { return c != nil && c.Div[in.Stmt] }
+func (c *SafetyCert) idxOK(in *Instr) bool { return c != nil && c.Idx[in.Stmt] }
+
+// divBin reports a trapping division opcode.
+func divBin(op Op) bool { return op == OpDiv || op == OpMod }
+
+// CertOnly reports whether the shape requires a safety certificate.
+func (o SuperOp) CertOnly() bool { return o >= SuperLLDivS && o < NumSuperOps }
+
 // Fuse populates each function's Super side table with the enabled
 // superinstructions, matching greedily (longest shape first) at every pc —
 // every pc gets its best match independently, so a sequence entered from
 // the middle (a jump target) or resumed after a quantum boundary still
 // finds whatever shorter match starts there. Returns the number of fused
-// sites. A nil table clears the side tables (fusion off).
+// sites. A nil table clears the side tables (fusion off). Without a
+// certificate only the infallible shapes match; use FuseCert to widen.
 func Fuse(p *Program, t *FusionTable) int {
+	total, _ := FuseCert(p, t, nil)
+	return total
+}
+
+// FuseCert is Fuse with a safety certificate admitting the proven-safe
+// div/mod and indexed-window shapes. It returns the total fused sites and
+// how many of them exist only because of the certificate (the widening's
+// reach, surfaced as the fusion.windows.widened counter); the latter is
+// also recorded on the program for cache round-trips.
+func FuseCert(p *Program, t *FusionTable, cert *SafetyCert) (total, widened int) {
 	en := t.enabled()
 	any := false
 	for op := SuperNone + 1; op < NumSuperOps; op++ {
 		any = any || en[op]
 	}
-	total := 0
 	for _, f := range p.Funcs {
 		f.Super = nil
 		if !any {
 			continue
 		}
 		for pc := range f.Code {
-			s := matchAt(f.Code, pc, &en)
+			s := matchAt(f.Code, pc, &en, cert)
 			if s.Op == SuperNone {
 				continue
 			}
@@ -200,9 +270,13 @@ func Fuse(p *Program, t *FusionTable) int {
 			}
 			f.Super[pc] = s
 			total++
+			if s.Op.CertOnly() {
+				widened++
+			}
 		}
 	}
-	return total
+	p.WidenedSuper = widened
+	return total, widened
 }
 
 // infallibleBin reports whether op is a binop/compare that can never fail
@@ -233,8 +307,9 @@ func cmpOp(op Op) bool {
 	return false
 }
 
-// matchAt finds the longest enabled superinstruction starting at pc.
-func matchAt(code []Instr, pc int, en *[NumSuperOps]bool) SuperInstr {
+// matchAt finds the longest enabled superinstruction starting at pc. cert
+// (nilable) admits the proven-safe div/mod and indexed shapes.
+func matchAt(code []Instr, pc int, en *[NumSuperOps]bool, cert *SafetyCert) SuperInstr {
 	n := len(code)
 	in0 := &code[pc]
 	switch in0.Op {
@@ -248,11 +323,15 @@ func matchAt(code []Instr, pc int, en *[NumSuperOps]bool) SuperInstr {
 			if pc+2 >= n {
 				break
 			}
-			bin := code[pc+2].Op
+			in2 := &code[pc+2]
+			bin := in2.Op
 			if pc+3 < n {
 				in3 := &code[pc+3]
 				if en[SuperLLBinS] && infallibleBin(bin) && in3.Op == OpStoreLocal {
 					return SuperInstr{Op: SuperLLBinS, W: 4, Bin: bin, A: in0.A, B: in1.A, C: in3.A}
+				}
+				if en[SuperLLDivS] && divBin(bin) && cert.divOK(in2) && in3.Op == OpStoreLocal {
+					return SuperInstr{Op: SuperLLDivS, W: 4, Bin: bin, A: in0.A, B: in1.A, C: in3.A}
 				}
 				if en[SuperLLCmpJf] && cmpOp(bin) && in3.Op == OpJmpFalse {
 					return SuperInstr{Op: SuperLLCmpJf, W: 4, Bin: bin, A: in0.A, B: in1.A, T: in3.A}
@@ -260,6 +339,15 @@ func matchAt(code []Instr, pc int, en *[NumSuperOps]bool) SuperInstr {
 			}
 			if en[SuperLLBin] && infallibleBin(bin) {
 				return SuperInstr{Op: SuperLLBin, W: 3, Bin: bin, A: in0.A, B: in1.A}
+			}
+			if en[SuperLLDiv] && divBin(bin) && cert.divOK(in2) {
+				return SuperInstr{Op: SuperLLDiv, W: 3, Bin: bin, A: in0.A, B: in1.A}
+			}
+			if en[SuperIdxStoreL] && bin == OpStoreIndexedL && cert.idxOK(in2) {
+				return SuperInstr{Op: SuperIdxStoreL, W: 3, A: in2.A, B: in0.A, C: in1.A}
+			}
+			if en[SuperIdxStoreG] && bin == OpStoreIndexedG && cert.idxOK(in2) {
+				return SuperInstr{Op: SuperIdxStoreG, W: 3, A: in2.A, B: in0.A, C: in1.A}
 			}
 		case OpConst:
 			if pc+2 >= n {
@@ -283,16 +371,31 @@ func matchAt(code []Instr, pc int, en *[NumSuperOps]bool) SuperInstr {
 			if pc+2 >= n {
 				break
 			}
-			bin := code[pc+2].Op
+			in2 := &code[pc+2]
+			bin := in2.Op
 			if pc+3 < n && en[SuperLGCmpJf] && cmpOp(bin) && code[pc+3].Op == OpJmpFalse {
 				return SuperInstr{Op: SuperLGCmpJf, W: 4, Bin: bin, A: in0.A, B: in1.A, T: code[pc+3].A}
 			}
 			if en[SuperLGBin] && infallibleBin(bin) {
 				return SuperInstr{Op: SuperLGBin, W: 3, Bin: bin, A: in0.A, B: in1.A}
 			}
+			if en[SuperLGDiv] && divBin(bin) && cert.divOK(in2) {
+				return SuperInstr{Op: SuperLGDiv, W: 3, Bin: bin, A: in0.A, B: in1.A}
+			}
+		case OpLoadIndexedL:
+			if en[SuperIdxLoadL] && cert.idxOK(in1) {
+				return SuperInstr{Op: SuperIdxLoadL, W: 2, A: in1.A, B: in0.A}
+			}
+		case OpLoadIndexedG:
+			if en[SuperIdxLoadG] && cert.idxOK(in1) {
+				return SuperInstr{Op: SuperIdxLoadG, W: 2, A: in1.A, B: in0.A}
+			}
 		default:
 			if en[SuperLBin] && infallibleBin(in1.Op) {
 				return SuperInstr{Op: SuperLBin, W: 2, Bin: in1.Op, A: in0.A}
+			}
+			if en[SuperLDiv] && divBin(in1.Op) && cert.divOK(in1) {
+				return SuperInstr{Op: SuperLDiv, W: 2, Bin: in1.Op, A: in0.A}
 			}
 		}
 	case OpConst:

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"ppd/internal/analysis"
+	"ppd/internal/analysis/absint"
 	"ppd/internal/ast"
 	"ppd/internal/bytecode"
 	"ppd/internal/eblock"
@@ -36,6 +37,12 @@ type Artifacts struct {
 	Plan *eblock.Plan
 	DB   *progdb.DB
 
+	// Facts is the abstract-interpretation result (analysis/absint),
+	// computed once per pipeline run and shared by the fusion pass (safety
+	// certificates) and the vet passes. Nil on cache-loaded artifacts until
+	// Hydrate rebuilds the semantic layers.
+	Facts *absint.Facts
+
 	cfg    eblock.Config    // for Hydrate
 	preVet *analysis.Result // vet result restored from the cache
 
@@ -62,7 +69,7 @@ func (a *Artifacts) Hydrate() error {
 			a.hydrateErr = err
 			return
 		}
-		a.Info, a.PDG, a.Plan, a.DB = full.Info, full.PDG, full.Plan, full.DB
+		a.Info, a.PDG, a.Plan, a.DB, a.Facts = full.Info, full.PDG, full.Plan, full.DB, full.Facts
 		if a.preVet != nil {
 			pre := a.preVet
 			a.DB.EnsureVet(func() *analysis.Result { return pre })
@@ -154,7 +161,7 @@ func (a *Artifacts) Vet(sink *obs.Sink) *analysis.Result {
 		return a.preVet
 	}
 	return a.DB.EnsureVet(func() *analysis.Result {
-		return analysis.Analyze(a.PDG, a.Prog, sink)
+		return analysis.AnalyzeWithFacts(a.PDG, a.Prog, sink, a.Facts)
 	})
 }
 
@@ -187,7 +194,7 @@ func CompileCachedFused(file *source.File, cfg eblock.Config, cacheDir string, w
 		return compilePipeline(file, cfg, po)
 	}
 	cache := &progdb.Cache{Dir: cacheDir}
-	key := progdb.CacheKey(file.Name, file.Content, cfg, tab.Fingerprint())
+	key := progdb.CacheKey(file.Name, file.Content, cfg, tab.Fingerprint(), absint.Fingerprint)
 	if cp, size, err := cache.Load(key); err == nil && cp != nil {
 		if sink != nil {
 			sink.Counter("compile.cache.hits").Add(1)
@@ -292,8 +299,15 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 	db := progdb.BuildWith(p, plan, po.pool)
 	sc.End()
 
+	// Abstract interpretation over the finished PDG: the value-range and
+	// lockset facts feed both the fusion pass below (safety certificates
+	// for trapping constituents) and the vet passes (Artifacts.Vet).
+	sc = pass("absint")
+	facts := absint.Analyze(p)
+	sc.End()
+
 	if po.skipCodegen {
-		return &Artifacts{File: file, Info: info, PDG: p, Plan: plan, DB: db, cfg: cfg}, nil
+		return &Artifacts{File: file, Info: info, PDG: p, Plan: plan, DB: db, Facts: facts, cfg: cfg}, nil
 	}
 
 	sc = pass("codegen")
@@ -323,11 +337,11 @@ func compilePipeline(file *source.File, cfg eblock.Config, po pipelineOpts) (*Ar
 		if tab == nil {
 			tab = bytecode.DefaultFusionTable()
 		}
-		bytecode.Fuse(c.out, tab)
+		bytecode.FuseCert(c.out, tab, &bytecode.SafetyCert{Div: facts.DivSafe, Idx: facts.IdxSafe})
 		sc.End()
 	}
 
-	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db, cfg: cfg}
+	art := &Artifacts{File: file, Prog: c.out, Info: info, PDG: p, Plan: plan, DB: db, Facts: facts, cfg: cfg}
 	foldArtifactSizes(po.sink, art)
 	return art, nil
 }
@@ -342,6 +356,7 @@ func foldArtifactSizes(sink *obs.Sink, art *Artifacts) {
 	sink.Counter("compile.globals").Add(int64(len(art.Prog.Globals)))
 	sink.Counter("compile.instrs").Add(int64(art.Prog.NumInstrs()))
 	sink.Counter("compile.superinstrs").Add(int64(art.Prog.NumSuper()))
+	sink.Counter("fusion.windows.widened").Add(int64(art.Prog.WidenedSuper))
 	sink.Counter("compile.eblocks").Add(int64(len(art.Plan.Blocks)))
 	sink.Counter("compile.eblocks.inlined").Add(int64(len(art.Plan.Inlined)))
 	var units, edges, deps, sites int

@@ -23,12 +23,15 @@ type Cache struct {
 // CacheKey returns the content address for one compile: sha256 over the
 // codec version, the e-block config, the fusion-table fingerprint
 // (bytecode.FusionTable.Fingerprint; "off" when fusion is disabled), the
-// source name, and the source bytes. Field boundaries are length-framed so
-// concatenation ambiguities cannot collide.
-func CacheKey(name, src string, cfg eblock.Config, fusion string) string {
+// abstract-interpreter fingerprint (absint.Fingerprint — the facts feed
+// both the persisted vet result and the fusion safety certificates, so an
+// engine change must miss), the source name, and the source bytes. Field
+// boundaries are length-framed so concatenation ambiguities cannot
+// collide.
+func CacheKey(name, src string, cfg eblock.Config, fusion, facts string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "ppdc\x00v%d\x00li%d\x00lb%d\x00fz%d\x00%s\x00", CodecVersion,
-		cfg.LeafInlineThreshold, cfg.LoopBlockMinStmts, len(fusion), fusion)
+	fmt.Fprintf(h, "ppdc\x00v%d\x00li%d\x00lb%d\x00fz%d\x00%s\x00ai%d\x00%s\x00", CodecVersion,
+		cfg.LeafInlineThreshold, cfg.LoopBlockMinStmts, len(fusion), fusion, len(facts), facts)
 	fmt.Fprintf(h, "%d\x00%s%d\x00%s", len(name), name, len(src), src)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -35,7 +35,13 @@ const cacheMagic = 0x50504443
 // v2: functions carry the superinstruction side table (bytecode.Fuse), so
 // warm cache hits return fused bytecode; v1 entries decode-fail into clean
 // misses.
-const CodecVersion = 2
+//
+// v3: the program carries WidenedSuper (certificate-widened fusion window
+// count) and the vet result carries the abstract-interpretation facts —
+// lock-guard prunes on the conflict matrix and the facts counters — so a
+// warm hit answers `vet -json` identically to a cold run; v2 entries
+// decode-fail into clean misses.
+const CodecVersion = 3
 
 // CachedProgram is the persisted slice of a compile: everything the
 // execution phase needs (the bytecode program) plus the vet result the
@@ -146,6 +152,7 @@ func appendInts(b []byte, s []int) []byte {
 
 func appendProgram(b []byte, p *bytecode.Program) []byte {
 	b = binary.AppendVarint(b, int64(p.MainIdx))
+	b = binary.AppendVarint(b, int64(p.WidenedSuper))
 	b = binary.AppendUvarint(b, uint64(len(p.Strings)))
 	for _, s := range p.Strings {
 		b = appendString(b, s)
@@ -290,7 +297,15 @@ func appendVet(b []byte, v *analysis.Result) []byte {
 			b = binary.AppendVarint(b, int64(p.B))
 			b = appendInts(b, p.Vars)
 		}
+		b = binary.AppendUvarint(b, uint64(len(w.Guarded)))
+		for i := range w.Guarded {
+			b = binary.AppendVarint(b, int64(w.Guarded[i].Gid))
+			b = binary.AppendVarint(b, int64(w.Guarded[i].Sem))
+		}
 	}
+	b = binary.AppendVarint(b, int64(v.Facts.Intervals))
+	b = binary.AppendVarint(b, int64(v.Facts.Nonzero))
+	b = binary.AppendVarint(b, int64(v.Facts.Locksets))
 	// PerPass in sorted key order for deterministic bytes.
 	passes := make([]string, 0, len(v.PerPass))
 	for k := range v.PerPass {
@@ -340,7 +355,7 @@ func posLen(p source.Position) int {
 }
 
 func programLen(p *bytecode.Program) int {
-	n := varintLen(int64(p.MainIdx))
+	n := varintLen(int64(p.MainIdx)) + varintLen(int64(p.WidenedSuper))
 	n += uvarintLen(uint64(len(p.Strings)))
 	for _, s := range p.Strings {
 		n += stringLen(s)
@@ -430,7 +445,13 @@ func vetLen(v *analysis.Result) int {
 			p := &w.Pairs[i]
 			n += varintLen(int64(p.A)) + varintLen(int64(p.B)) + intsLen(p.Vars)
 		}
+		n += uvarintLen(uint64(len(w.Guarded)))
+		for i := range w.Guarded {
+			n += varintLen(int64(w.Guarded[i].Gid)) + varintLen(int64(w.Guarded[i].Sem))
+		}
 	}
+	n += varintLen(int64(v.Facts.Intervals)) + varintLen(int64(v.Facts.Nonzero)) +
+		varintLen(int64(v.Facts.Locksets))
 	n += uvarintLen(uint64(len(v.PerPass)))
 	for k, c := range v.PerPass {
 		n += stringLen(k) + varintLen(int64(c))
@@ -550,6 +571,9 @@ func (d *decoder) program() (*bytecode.Program, error) {
 	p := &bytecode.Program{FuncIdx: make(map[string]int)}
 	var err error
 	if p.MainIdx, err = d.int(); err != nil {
+		return nil, err
+	}
+	if p.WidenedSuper, err = d.int(); err != nil {
 		return nil, err
 	}
 	nStr, err := d.uvarint()
@@ -910,7 +934,34 @@ func (d *decoder) vet() (*analysis.Result, error) {
 			}
 			w.Pairs = append(w.Pairs, p)
 		}
+		nGuard, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		w.Guarded = make([]analysis.LockGuard, 0, min(nGuard, cacheReadCap))
+		for i := uint64(0); i < nGuard; i++ {
+			var g analysis.LockGuard
+			if g.Gid, err = d.int(); err != nil {
+				return nil, err
+			}
+			if g.Sem, err = d.int(); err != nil {
+				return nil, err
+			}
+			if g.Gid < 0 || g.Gid >= w.NumGlobals || g.Sem < 0 || g.Sem >= w.NumGlobals {
+				return nil, fmt.Errorf("progdb: lock guard (%d,%d) out of range [0,%d)", g.Gid, g.Sem, w.NumGlobals)
+			}
+			w.Guarded = append(w.Guarded, g)
+		}
 		v.Conflicts = analysis.FromWire(w)
+	}
+	if v.Facts.Intervals, err = d.int(); err != nil {
+		return nil, err
+	}
+	if v.Facts.Nonzero, err = d.int(); err != nil {
+		return nil, err
+	}
+	if v.Facts.Locksets, err = d.int(); err != nil {
+		return nil, err
 	}
 	nPass, err := d.uvarint()
 	if err != nil {

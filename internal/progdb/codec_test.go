@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"ppd/internal/analysis/absint"
 	"ppd/internal/compile"
 	"ppd/internal/eblock"
 	"ppd/internal/progdb"
@@ -167,7 +168,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	c := &progdb.Cache{Dir: dir}
 	cp := testPrograms(t)[0]
-	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off")
+	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off", absint.Fingerprint)
 
 	if got, _, err := c.Load(key); err != nil || got != nil {
 		t.Fatalf("empty cache Load = %v, %v; want miss", got, err)
@@ -195,7 +196,7 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	c := &progdb.Cache{Dir: dir}
 	cp := cachedFrom(t, "c.mpl", `func main() { print(1); }`)
-	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off")
+	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off", absint.Fingerprint)
 	if _, err := c.Store(key, cp); err != nil {
 		t.Fatal(err)
 	}
@@ -214,19 +215,22 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 
 func TestCacheKeySensitivity(t *testing.T) {
 	cfg := eblock.DefaultConfig()
-	base := progdb.CacheKey("a.mpl", "func main() {}", cfg, "off")
-	if progdb.CacheKey("a.mpl", "func main() { }", cfg, "off") == base {
+	base := progdb.CacheKey("a.mpl", "func main() {}", cfg, "off", absint.Fingerprint)
+	if progdb.CacheKey("a.mpl", "func main() { }", cfg, "off", absint.Fingerprint) == base {
 		t.Error("key ignores source bytes")
 	}
-	if progdb.CacheKey("b.mpl", "func main() {}", cfg, "off") == base {
+	if progdb.CacheKey("b.mpl", "func main() {}", cfg, "off", absint.Fingerprint) == base {
 		t.Error("key ignores source name")
 	}
 	cfg2 := cfg
 	cfg2.LeafInlineThreshold++
-	if progdb.CacheKey("a.mpl", "func main() {}", cfg2, "off") == base {
+	if progdb.CacheKey("a.mpl", "func main() {}", cfg2, "off", absint.Fingerprint) == base {
 		t.Error("key ignores e-block config")
 	}
-	if progdb.CacheKey("a.mpl", "func main() {}", cfg, "off") != base {
+	if progdb.CacheKey("a.mpl", "func main() {}", cfg, "off", "absint-v2") == base {
+		t.Error("key ignores the abstract-interpreter fingerprint")
+	}
+	if progdb.CacheKey("a.mpl", "func main() {}", cfg, "off", absint.Fingerprint) != base {
 		t.Error("key is not deterministic")
 	}
 }

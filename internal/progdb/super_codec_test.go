@@ -5,9 +5,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"ppd/internal/analysis/absint"
 	"ppd/internal/bytecode"
+	"ppd/internal/compile"
 	"ppd/internal/eblock"
 	"ppd/internal/progdb"
+	"ppd/internal/workloads"
 )
 
 // TestCodecPreservesSuper pins the v2 codec's superinstruction side
@@ -72,14 +75,66 @@ func TestCodecRejectsCorruptSuper(t *testing.T) {
 	}
 }
 
+// TestCodecPreservesWidenedAndFacts pins the fields the v3 codec added:
+// the certificate-widened fusion count, the abstract-interpretation fact
+// counters, and the lockset-pruned guard list must all survive a
+// round-trip, so a warm cache hit answers `ppd vet -json` and
+// `ppd stats` identically to a cold compile.
+func TestCodecPreservesWidenedAndFacts(t *testing.T) {
+	cfg := eblock.DefaultConfig()
+	w := workloads.Histo(20)
+	art, err := compile.CompileFusedSource(w.Name+".mpl", w.Src, cfg, bytecode.DefaultFusionTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Prog.WidenedSuper == 0 {
+		t.Fatal("histo compile produced no certificate-widened windows; test is vacuous")
+	}
+	cp := &progdb.CachedProgram{
+		SourceName: w.Name + ".mpl", Source: w.Src, Config: cfg,
+		Prog: art.Prog, Vet: art.Vet(nil),
+	}
+	dec, err := progdb.Decode(progdb.Encode(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Prog.WidenedSuper != cp.Prog.WidenedSuper {
+		t.Errorf("WidenedSuper = %d, want %d", dec.Prog.WidenedSuper, cp.Prog.WidenedSuper)
+	}
+	if cp.Vet.Facts.Intervals == 0 || cp.Vet.Facts.Nonzero == 0 {
+		t.Fatalf("histo vet carries no facts; test is vacuous: %+v", cp.Vet.Facts)
+	}
+	if dec.Vet.Facts != cp.Vet.Facts {
+		t.Errorf("facts counters = %+v, want %+v", dec.Vet.Facts, cp.Vet.Facts)
+	}
+
+	gc := cachedFrom(t, "guarded.mpl", workloads.GuardedCounter(2, 5).Src)
+	if len(gc.Vet.Conflicts.Guarded) == 0 {
+		t.Fatal("guarded-counter vet pruned nothing; test is vacuous")
+	}
+	gdec, err := progdb.Decode(progdb.Encode(gc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := gdec.Vet.Conflicts.Guarded, gc.Vet.Conflicts.Guarded; len(got) != len(want) {
+		t.Fatalf("guard list length = %d, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("guard[%d] = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestCacheKeyFusionSensitivity: enabling, disabling, or reshaping the
 // fusion table must change the content address, so a cache directory can
 // serve fused and unfused compiles side by side without cross-talk.
 func TestCacheKeyFusionSensitivity(t *testing.T) {
 	cfg := eblock.DefaultConfig()
-	off := progdb.CacheKey("a.mpl", "func main() {}", cfg, "off")
-	full := progdb.CacheKey("a.mpl", "func main() {}", cfg, bytecode.DefaultFusionTable().Fingerprint())
-	all := progdb.CacheKey("a.mpl", "func main() {}", cfg, bytecode.AllPatterns().Fingerprint())
+	off := progdb.CacheKey("a.mpl", "func main() {}", cfg, "off", absint.Fingerprint)
+	full := progdb.CacheKey("a.mpl", "func main() {}", cfg, bytecode.DefaultFusionTable().Fingerprint(), absint.Fingerprint)
+	all := progdb.CacheKey("a.mpl", "func main() {}", cfg, bytecode.AllPatterns().Fingerprint(), absint.Fingerprint)
 	if off == full || full == all || off == all {
 		t.Errorf("fusion fingerprint does not separate cache keys: off=%s full=%s all=%s", off, full, all)
 	}
@@ -96,7 +151,7 @@ func TestCacheOldCodecVersionIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	c := &progdb.Cache{Dir: dir}
 	cp := cachedFrom(t, "old.mpl", `func main() { print(1); }`)
-	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off")
+	key := progdb.CacheKey(cp.SourceName, cp.Source, cp.Config, "off", absint.Fingerprint)
 	if _, err := c.Store(key, cp); err != nil {
 		t.Fatal(err)
 	}

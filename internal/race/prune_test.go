@@ -14,14 +14,16 @@ import (
 )
 
 // pruneCases covers every standard workload plus the conflict-sparse
-// sharded shape and both racy-counter variants, across two seeds — the
-// matrix the masked detectors must be golden-equivalent on.
+// sharded shape, both racy-counter variants, and the fully lock-guarded
+// counter (whose mask the lockset analysis empties), across two seeds —
+// the matrix the masked detectors must be golden-equivalent on.
 func pruneCases() []*workloads.Workload {
 	wls := workloads.Standard()
 	wls = append(wls,
 		workloads.Sharded(4, 40),
 		workloads.RacyCounter(3, 25, false),
 		workloads.RacyCounter(3, 25, true),
+		workloads.GuardedCounter(3, 25),
 	)
 	return wls
 }
@@ -95,6 +97,50 @@ func TestMaskPrunesShardedBuckets(t *testing.T) {
 	if snap.Counters["race.pairs"] != 0 {
 		t.Fatalf("all accessed variables are conflict-free; expected 0 candidate pairs, got %d",
 			snap.Counters["race.pairs"])
+	}
+}
+
+// TestLocksetPrunesGuardedCounter pins the abstract interpreter's
+// contribution to the static filter: on the guarded-counter workload the
+// lockset analysis proves every access to the counter holds m, so the
+// conflict mask is empty, the detector scans zero candidate pairs, and
+// the safe-counter control (same program, but main reads the counter
+// without the lock) keeps the counter in its mask.
+func TestLocksetPrunesGuardedCounter(t *testing.T) {
+	wl := workloads.GuardedCounter(3, 25)
+	art, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res := analysis.Analyze(art.PDG, art.Prog, nil)
+	if len(res.Conflicts.Guarded) == 0 {
+		t.Fatal("lockset analysis pruned nothing on the fully guarded counter")
+	}
+	mask := res.Conflicts.Mask()
+	if !mask.IsEmpty() {
+		t.Fatalf("guarded counter should empty the conflict mask, got %s", mask)
+	}
+
+	v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Seed: 0, Quantum: 7})
+	if err := v.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g := parallel.Build(v.Log, len(art.Prog.Globals))
+	sink := obs.New()
+	if races := IndexedMasked(g, mask, sink); len(races) != 0 {
+		t.Fatalf("guarded counter must be race-free, got %d races", len(races))
+	}
+	if pairs := sink.Snapshot().Counters["race.pairs"]; pairs != 0 {
+		t.Fatalf("lock-guarded variable still scanned: %d candidate pairs", pairs)
+	}
+
+	control := workloads.RacyCounter(3, 25, true)
+	cart, err := compile.CompileSource(control.Name, control.Src, eblock.DefaultConfig())
+	if err != nil {
+		t.Fatalf("compile control: %v", err)
+	}
+	if m := analysis.Analyze(cart.PDG, cart.Prog, nil).Conflicts.Mask(); m.IsEmpty() {
+		t.Fatal("safe-counter control should keep its counter in the mask (main reads it unlocked)")
 	}
 }
 

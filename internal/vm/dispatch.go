@@ -103,6 +103,12 @@ func (v *VM) runSliceTab(p *Proc) {
 					q += w
 					d.pc += w
 					sups[s.Op](d, s)
+					if d.sig == sigExit {
+						// A certificate-gated shape hit its (provably
+						// impossible) failure path and already wrote back
+						// the single-op machine state.
+						return
+					}
 					continue
 				}
 			}
@@ -160,6 +166,9 @@ func (v *VM) runSliceTabProf(p *Proc) {
 					q += w
 					d.pc += w
 					sups[s.Op](d, s)
+					if d.sig == sigExit {
+						return
+					}
 					continue
 				}
 			}
@@ -257,14 +266,26 @@ func buildDispatchTables() {
 	sbase[bytecode.SuperCBin] = sCBin
 	sbase[bytecode.SuperConstStoreL] = sConstStoreL
 	sbase[bytecode.SuperCmpJf] = sCmpJf
+	sbase[bytecode.SuperLLDivS] = sLLDivS
+	sbase[bytecode.SuperLLDiv] = sLLDiv
+	sbase[bytecode.SuperLDiv] = sLDiv
+	sbase[bytecode.SuperIdxLoadL] = sIdxLoadL
 
 	runSups = sbase
 	runSups[bytecode.SuperLGBin] = sLGBinRun
 	runSups[bytecode.SuperLGCmpJf] = sLGCmpJfRun
+	runSups[bytecode.SuperLGDiv] = sLGDivRun
+	runSups[bytecode.SuperIdxLoadG] = sIdxLoadGRun
+	runSups[bytecode.SuperIdxStoreL] = sIdxStoreLRun
+	runSups[bytecode.SuperIdxStoreG] = sIdxStoreGRun
 
 	logSups = sbase
 	logSups[bytecode.SuperLGBin] = sLGBinLog
 	logSups[bytecode.SuperLGCmpJf] = sLGCmpJfLog
+	logSups[bytecode.SuperLGDiv] = sLGDivLog
+	logSups[bytecode.SuperIdxLoadG] = sIdxLoadGLog
+	logSups[bytecode.SuperIdxStoreL] = sIdxStoreLLog
+	logSups[bytecode.SuperIdxStoreG] = sIdxStoreGLog
 }
 
 // dCold hands the instruction to the generic step — the same fallback the

@@ -6,10 +6,19 @@ import "ppd/internal/bytecode"
 // (bytecode.Fuse) in one dispatch; the driver has already charged the
 // sequence's width against the step counter and the quantum and advanced
 // the pc past it, so a handler only touches data (and, for the
-// compare-and-branch shapes, rewrites the pc on a taken branch). Every
-// shape is infallible by construction — Div/Mod appear only with a
-// non-zero constant operand — so handlers never write back state or set
-// dispatch.sig.
+// compare-and-branch shapes, rewrites the pc on a taken branch). The
+// original shapes are infallible by construction — Div/Mod appear only
+// with a non-zero constant operand — so their handlers never write back
+// state or set dispatch.sig.
+//
+// The certificate-gated shapes (bytecode.FuseCert) carry trapping
+// constituents that the abstract interpreter proved safe. Their handlers
+// keep the runtime check as defense in depth: on the provably-impossible
+// failure they reconstruct the exact single-op machine state — the pc
+// after the failing instruction, the step count as of that instruction,
+// the operand stack with the constituents' pushes/pops replayed — and
+// fail through the same v.fail path, so even a wrong certificate (say, a
+// corrupt cache entry) reports byte-identically to unfused execution.
 
 // superApply evaluates x ∘ y for the fused binop/compare set.
 func superApply(op bytecode.Op, x, y int64) int64 {
@@ -138,4 +147,158 @@ func sCmpJf(d *dispatch, s *bytecode.SuperInstr) {
 	if !superCmp(s.Bin, x, y) {
 		d.pc = s.T
 	}
+}
+
+// ---- certificate-gated shapes ----
+
+func divZeroMsg(op bytecode.Op) string {
+	if op == bytecode.OpMod {
+		return "modulo by zero"
+	}
+	return "division by zero"
+}
+
+// superDivFail reports a zero divisor from a fused window whose div/mod
+// is the instruction at divPC: the single-op path would have failed with
+// the pc advanced past it and only the steps up to it charged.
+func (d *dispatch) superDivFail(bin bytecode.Op, divPC int) {
+	d.v.Steps -= int64(d.pc - divPC - 1) // un-charge the instrs after the div
+	d.pc = divPC + 1
+	d.f.PC, d.f.Stack = d.pc, d.stack
+	d.v.fail(d.p, d.code[divPC].Stmt, "%s", divZeroMsg(bin))
+	d.sig = sigExit
+}
+
+// superIndexFail mirrors dispatch.indexFail for a fused window whose
+// indexed op is the window's last instruction (all indexed shapes).
+func (d *dispatch) superIndexFail(i int64, n int) {
+	d.f.PC, d.f.Stack = d.pc, d.stack
+	d.v.fail(d.p, d.code[d.pc-1].Stmt, "array index %d out of range [0,%d)", i, n)
+	d.sig = sigExit
+}
+
+func sLLDivS(d *dispatch, s *bytecode.SuperInstr) {
+	y := d.slots[s.B].Int
+	if y == 0 {
+		d.superDivFail(s.Bin, d.pc-2) // div is the 3rd of 4 instructions
+		return
+	}
+	d.slots[s.C] = Value{Int: superApply(s.Bin, d.slots[s.A].Int, y)}
+}
+
+func sLLDiv(d *dispatch, s *bytecode.SuperInstr) {
+	y := d.slots[s.B].Int
+	if y == 0 {
+		d.superDivFail(s.Bin, d.pc-1)
+		return
+	}
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, y))
+}
+
+func sLGDivRun(d *dispatch, s *bytecode.SuperInstr) {
+	y := d.v.Globals[s.B].Int
+	if y == 0 {
+		d.superDivFail(s.Bin, d.pc-1)
+		return
+	}
+	d.stack = append(d.stack, superApply(s.Bin, d.slots[s.A].Int, y))
+}
+
+func sLGDivLog(d *dispatch, s *bytecode.SuperInstr) {
+	// The global load completes before the div can fail: mark it first.
+	if d.v.shared[s.B] {
+		d.p.reads.Add(s.B)
+	}
+	sLGDivRun(d, s)
+}
+
+func sLDiv(d *dispatch, s *bytecode.SuperInstr) {
+	n := len(d.stack) - 1
+	y := d.slots[s.A].Int
+	if y == 0 {
+		d.stack = d.stack[:n] // single-op div pops both operands
+		d.superDivFail(s.Bin, d.pc-1)
+		return
+	}
+	d.stack[n] = superApply(s.Bin, d.stack[n], y)
+}
+
+func sIdxLoadL(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.slots[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+}
+
+func sIdxLoadGRun(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.v.Globals[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+}
+
+func sIdxLoadGLog(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.v.Globals[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	d.stack = append(d.stack, arr[i])
+	if d.v.shared[s.A] {
+		d.p.reads.Add(s.A)
+	}
+}
+
+func sIdxStoreLRun(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.slots[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	arr[i] = d.slots[s.C].Int
+}
+
+func sIdxStoreLLog(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.slots[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	arr[i] = d.slots[s.C].Int
+	if d.f.arrSnap != nil {
+		d.f.arrSnap[s.A].dirty = true
+	}
+}
+
+func sIdxStoreGRun(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.v.Globals[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	arr[i] = d.slots[s.C].Int
+}
+
+func sIdxStoreGLog(d *dispatch, s *bytecode.SuperInstr) {
+	i := d.slots[s.B].Int
+	arr := d.v.Globals[s.A].Arr
+	if i < 0 || i >= int64(len(arr)) {
+		d.superIndexFail(i, len(arr))
+		return
+	}
+	arr[i] = d.slots[s.C].Int
+	if d.v.shared[s.A] {
+		d.p.writes.Add(s.A)
+	}
+	d.v.gDirty[s.A] = true
 }

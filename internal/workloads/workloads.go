@@ -313,6 +313,78 @@ func Standard() []*Workload {
 		ProdCons(600),
 		TokenRing(4, 100),
 		Divide(11),
+		Histo(60),
+	}
+}
+
+// Histo is a single-process histogram-style kernel whose inner loop is
+// built from exactly the operation shapes the abstract interpreter can
+// certify: every indexed access uses the loop variable, provably in
+// [0,16), and every division's divisor is provably nonzero (b+1 in
+// [1,16], or the never-written constant scale). Without certificates
+// none of these windows may fuse — the divisor or index check could
+// trap mid-window — so this workload is what puts the certified
+// SuperOp shapes (lldivs, lldiv, lgdiv, ldiv, idxload*, idxstore*)
+// into the profile-guided fusion table.
+func Histo(rounds int) *Workload {
+	src := fmt.Sprintf(`
+shared h[16];
+var scale = 4;
+var rounds = %d;
+
+func main() {
+	var buf[16];
+	var acc = 0;
+	var i = 0;
+	while (i < rounds) {
+		var b = 0;
+		while (b < 16) {
+			var v = acc + i;
+			buf[b] = v;
+			var u = buf[b];
+			var d = b + 1;
+			var q = u / d;
+			var r = u %% d;
+			var t = q + v / d;
+			var p = v / scale;
+			var w = v - r;
+			h[b] = w;
+			var y = h[b];
+			acc = (y + t - (q + p) / d) %% 9973;
+			b = b + 1;
+		}
+		i = i + 1;
+	}
+	print("acc=", acc);
+}
+`, rounds)
+	// Mirror of main's arithmetic, op for op, in the same int64
+	// semantics the VM uses — the expected output is computed, not
+	// hand-pinned, so resizing the workload stays a one-line change.
+	var buf, h [16]int64
+	acc := int64(0)
+	for i := int64(0); i < int64(rounds); i++ {
+		for b := int64(0); b < 16; b++ {
+			v := acc + i
+			buf[b] = v
+			u := buf[b]
+			d := b + 1
+			q := u / d
+			r := u % d
+			t := q + v/d
+			p := v / 4
+			w := v - r
+			h[b] = w
+			y := h[b]
+			acc = (y + t - (q+p)/d) % 9973
+		}
+	}
+	return &Workload{
+		Name:   "histo",
+		Desc:   fmt.Sprintf("%d rounds over 16 buckets of certified indexed/divide windows", rounds),
+		Src:    src,
+		Procs:  1,
+		Output: fmt.Sprintf("acc=%d\n", acc),
 	}
 }
 
@@ -438,5 +510,49 @@ func main() {
 		Desc:  fmt.Sprintf("%d workers × %d increments, protect=%t", workers, increments, protect),
 		Src:   src,
 		Procs: workers + 1,
+	}
+}
+
+// GuardedCounter is the fully disciplined sibling of RacyCounter: the
+// workers' increments and main's final read all hold the binary
+// semaphore m, so the lockset analysis proves the counter mutex-guarded
+// and drops it from the conflict mask entirely. (RacyCounter's protect
+// variant deliberately reads the counter in main without the lock, so
+// it stays in the mask — this workload is the one where static pruning
+// pays off on a genuinely contended variable.)
+func GuardedCounter(workers, increments int) *Workload {
+	src := fmt.Sprintf(`
+shared counter;
+sem m = 1;
+sem done = 0;
+var incs = %d;
+
+func w() {
+	var i = 0;
+	while (i < incs) {
+		P(m);
+		counter = counter + 1;
+		V(m);
+		i = i + 1;
+	}
+	V(done);
+}
+
+func main() {
+	var k = 0;
+	while (k < %d) { spawn w(); k = k + 1; }
+	var d = 0;
+	while (d < %d) { P(done); d = d + 1; }
+	P(m);
+	print(counter);
+	V(m);
+}
+`, increments, workers, workers)
+	return &Workload{
+		Name:   "guarded-counter",
+		Desc:   fmt.Sprintf("%d workers × %d increments, every access lock-guarded", workers, increments),
+		Src:    src,
+		Procs:  workers + 1,
+		Output: fmt.Sprintf("%d\n", workers*increments),
 	}
 }

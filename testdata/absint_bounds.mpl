@@ -1,0 +1,11 @@
+// An off-by-one the abstract interpreter catches: the loop stays inside
+// ring[0..7], then the final read indexes slot 8 of an 8-element array.
+var ring[8];
+func main() {
+	var i = 0;
+	while (i < 8) {
+		ring[i] = i * i;
+		i = i + 1;
+	}
+	print(ring[i]);
+}

@@ -1,0 +1,18 @@
+// Divisions the abstract interpreter proves safe: cnt is guarded into
+// [1,+inf) before the average, and the constant table size never
+// reaches zero. Both divisions earn fusion certificates, not
+// diagnostics.
+var scale = 4;
+func avg(sum int, cnt int) int {
+	if (cnt < 1) { return 0; }
+	return sum / cnt;
+}
+func main() {
+	var total = 0;
+	var i = 1;
+	while (i <= 10) {
+		total = total + i / scale;
+		i = i + 1;
+	}
+	print(avg(total, i - 1));
+}

@@ -1,0 +1,9 @@
+// A division the abstract interpreter proves always traps: base starts
+// at 8 and the loop drives it to exactly 0 before the division.
+func main() {
+	var base = 8;
+	while (base > 0) {
+		base = base - 2;
+	}
+	print(100 / base);
+}

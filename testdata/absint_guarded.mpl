@@ -1,0 +1,25 @@
+// A fully lock-guarded counter: every access to hits — in the workers
+// and in main — holds the binary semaphore mu, so the lockset analysis
+// prunes it from the race candidates.
+shared hits;
+sem mu = 1;
+sem done = 0;
+func w() {
+	var i = 0;
+	while (i < 4) {
+		P(mu);
+		hits = hits + 1;
+		V(mu);
+		i = i + 1;
+	}
+	V(done);
+}
+func main() {
+	spawn w();
+	spawn w();
+	P(done);
+	P(done);
+	P(mu);
+	print(hits);
+	V(mu);
+}
