@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check absint-check dispatch serve serve-smoke stream stream-smoke
+.PHONY: all build test race vet fmt check cover ci bench bench-smoke pardebug obsoverhead execlog vet-mpl vetprune compilecache cache-check fusion-check absint-check dispatch serve serve-smoke stream stream-smoke emu-check debug
 
 all: build
 
@@ -74,8 +74,24 @@ vet-mpl: build
 	fi
 	@echo "vet-mpl: OK"
 
-ci: check cover bench-smoke vet-mpl absint-check cache-check serve-smoke stream-smoke
+ci: check cover bench-smoke vet-mpl absint-check cache-check serve-smoke stream-smoke emu-check
 	@echo "ci: OK"
+
+# Debugging-phase fast-path gate: the pooled fast-dispatch emulation must
+# be byte-identical to the fresh-VM generic oracle across the golden
+# matrix (fused and unfused), pooled contexts must actually recycle,
+# checkpointed ReplayTo must equal the from-scratch fold at every record
+# boundary, and the E22 bench must run end to end (tiny -smoke version,
+# no BENCH file written).
+emu-check: build
+	$(GO) test -run 'TestEmuDispatchByteIdentical|TestPoolReuseObservable|TestEmulateIntoRecycles|TestEmulateConcurrentWidths' ./internal/emulation/
+	$(GO) test -run 'TestReplayTo' ./internal/controller/
+	$(GO) run ./cmd/ppdbench debug -smoke
+	@echo "emu-check: OK"
+
+# Regenerate the E22 debugging-phase fast-path table (writes BENCH_debug.json).
+debug: build
+	$(GO) run ./cmd/ppdbench debug
 
 # Online-pipeline gate: a live monitored run end-to-end (ppd watch), the
 # early-abort path (run -first-race must flag the racy program with a

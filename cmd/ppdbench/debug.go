@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ppd/internal/bytecode"
+	"ppd/internal/compile"
+	"ppd/internal/controller"
+	"ppd/internal/eblock"
+	"ppd/internal/emulation"
+	"ppd/internal/logging"
+	"ppd/internal/obs"
+	"ppd/internal/vm"
+	"ppd/internal/workloads"
+)
+
+// debugBench is E22: what the debugging-phase fast path buys. Two tables:
+//
+//   - per-emulation cost and allocations, pooled fast dispatch
+//     (EmulateInto + shared context pool) vs the fresh-VM generic oracle —
+//     the two paths are byte-identical (TestEmuDispatchByteIdentical), so
+//     the delta is pure dispatch and allocation;
+//   - ReplayTo restore cost across checkpoint spacings K — with
+//     checkpoints a warm restore folds at most K records, without them it
+//     folds the whole run prefix.
+//
+// `ppdbench debug -smoke` runs a tiny version for CI (no file written);
+// the full run writes BENCH_debug.json.
+func debugBench(w io.Writer) {
+	smoke := false
+	for _, a := range os.Args[2:] {
+		if a == "-smoke" {
+			smoke = true
+		}
+	}
+	emuReps, jobCap, probeN := reps, 200, 24
+	if smoke {
+		emuReps, jobCap, probeN = 1, 20, 8
+	}
+
+	fmt.Fprintln(w, "=== E22: debugging-phase fast path — pooled emulation + checkpointed restore ===")
+	fmt.Fprintf(w, "%-10s %9s %12s %12s %8s %12s %12s %8s\n",
+		"workload", "intervals", "generic", "fast", "spd", "generic-a/op", "fast-a/op", "alloc-x")
+
+	type emuRow struct {
+		Workload      string  `json:"workload"`
+		GoVersion     string  `json:"go_version"`
+		Gomaxprocs    int     `json:"gomaxprocs"`
+		Intervals     int     `json:"intervals"`
+		GenericNsOp   int64   `json:"generic_ns_op"`
+		FastNsOp      int64   `json:"fast_ns_op"`
+		Speedup       float64 `json:"speedup"`
+		GenericAllocs float64 `json:"generic_allocs_op"`
+		FastAllocs    float64 `json:"fast_allocs_op"`
+		AllocRatio    float64 `json:"alloc_ratio"`
+	}
+	var emuRows []emuRow
+
+	type job struct{ pid, idx int }
+	for _, wl := range workloads.Standard() {
+		art, err := compile.CompileFusedSource(wl.Name, wl.Src, eblock.DefaultConfig(), bytecode.DefaultFusionTable())
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+		_ = v.Run()
+
+		var jobs []job
+		for pid, book := range v.Log.Books {
+			for i, r := range book.Records {
+				if r.Kind == logging.RecPrelog && len(jobs) < jobCap {
+					jobs = append(jobs, job{pid, i})
+				}
+			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+
+		// sweep runs every job once through ems; per-variant construction
+		// keeps the oracle free of pooled state.
+		mkGeneric := func() []*emulation.Emulator {
+			ems := make([]*emulation.Emulator, len(v.Log.Books))
+			for pid, book := range v.Log.Books {
+				ems[pid] = emulation.New(art.Prog, book)
+				ems[pid].Generic = true
+			}
+			return ems
+		}
+		mkFast := func() []*emulation.Emulator {
+			pool := emulation.NewPool(art.Prog, 2, nil)
+			ems := make([]*emulation.Emulator, len(v.Log.Books))
+			for pid, book := range v.Log.Books {
+				ems[pid] = emulation.New(art.Prog, book)
+				ems[pid].SetPool(pool)
+			}
+			return ems
+		}
+		measure := func(mk func() []*emulation.Emulator, reuse bool) (nsOp int64, allocsOp float64) {
+			ems := mk()
+			var res emulation.Result
+			sweep := func() {
+				for _, j := range jobs {
+					if reuse {
+						if err := ems[j.pid].EmulateInto(j.idx, &res); err != nil {
+							panic(err)
+						}
+					} else if _, err := ems[j.pid].Emulate(j.idx); err != nil {
+						panic(err)
+					}
+				}
+			}
+			sweep() // warm pool, caches, branch predictors
+			best := bestOf(emuReps, sweep)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			sweep()
+			runtime.ReadMemStats(&m1)
+			return best.Nanoseconds() / int64(len(jobs)),
+				float64(m1.Mallocs-m0.Mallocs) / float64(len(jobs))
+		}
+
+		gNs, gAllocs := measure(mkGeneric, false)
+		fNs, fAllocs := measure(mkFast, true)
+		r := emuRow{
+			Workload: wl.Name, GoVersion: runtime.Version(),
+			Gomaxprocs: runtime.GOMAXPROCS(0), Intervals: len(jobs),
+			GenericNsOp: gNs, FastNsOp: fNs,
+			Speedup:       float64(gNs) / float64(fNs),
+			GenericAllocs: gAllocs, FastAllocs: fAllocs,
+			AllocRatio: gAllocs / max(fAllocs, 1),
+		}
+		emuRows = append(emuRows, r)
+		fmt.Fprintf(w, "%-10s %9d %12v %12v %7.2fx %12.1f %12.1f %7.1fx\n",
+			wl.Name, r.Intervals, time.Duration(gNs), time.Duration(fNs), r.Speedup,
+			gAllocs, fAllocs, r.AllocRatio)
+	}
+
+	// ReplayTo checkpoint-spacing sweep: probe restores across the longest
+	// book after one warming restore has built the checkpoints.
+	fmt.Fprintf(w, "\n%-10s %9s %12s %9s\n", "ckpt-K", "records", "restore/op", "stored")
+	type ckRow struct {
+		K         int   `json:"checkpoint_every"`
+		Records   int   `json:"records"`
+		RestoreNs int64 `json:"restore_ns_op"`
+		Stored    int64 `json:"checkpoints_stored"`
+	}
+	var ckRows []ckRow
+	{
+		wl := workloads.ProdCons(600)
+		art, err := compile.CompileSource(wl.Name, wl.Src, eblock.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		v := vm.New(art.Prog, vm.Options{Mode: vm.ModeLog, Quantum: 5})
+		_ = v.Run()
+		pid, n := 0, 0
+		for p, book := range v.Log.Books {
+			if len(book.Records) > n {
+				pid, n = p, len(book.Records)
+			}
+		}
+		probes := make([]int, 0, probeN)
+		for i := 1; i <= probeN; i++ {
+			probes = append(probes, i*n/probeN)
+		}
+		for _, k := range []int{-1, 8, 32, 64, 128, 256} {
+			sink := obs.New()
+			c := controller.NewWithConfig(art, v.Log, controller.Config{
+				Failure: v.Failure, Deadlock: v.Deadlock,
+				CheckpointEvery: k, Obs: sink,
+			})
+			if _, err := c.ReplayTo(pid, n); err != nil { // warm the checkpoints
+				panic(err)
+			}
+			best := bestOf(emuReps, func() {
+				for _, idx := range probes {
+					if _, err := c.ReplayTo(pid, idx); err != nil {
+						panic(err)
+					}
+				}
+			})
+			r := ckRow{
+				K: k, Records: n,
+				RestoreNs: best.Nanoseconds() / int64(len(probes)),
+				Stored:    sink.Counter("debug.emu.ckpt.stores").Value(),
+			}
+			ckRows = append(ckRows, r)
+			kLabel := fmt.Sprintf("%d", k)
+			if k < 0 {
+				kLabel = "off"
+			}
+			fmt.Fprintf(w, "%-10s %9d %12v %9d\n", kLabel, r.Records, time.Duration(r.RestoreNs), r.Stored)
+		}
+	}
+
+	if smoke {
+		fmt.Fprintln(w, "(smoke run: BENCH_debug.json not written)")
+		return
+	}
+	out := struct {
+		Emulation []emuRow `json:"emulation"`
+		ReplayTo  []ckRow  `json:"replayto"`
+	}{emuRows, ckRows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_debug.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "wrote BENCH_debug.json")
+}

@@ -27,6 +27,10 @@
 //	ppdbench stream       E20 online streaming analysis: batch vs pipeline
 //	                      time and retained memory, plus first-race early
 //	                      abort (also writes BENCH_stream.json)
+//	ppdbench debug        E22 debugging-phase fast path: pooled fast-
+//	                      dispatch emulation vs the generic oracle, plus a
+//	                      ReplayTo checkpoint-spacing sweep (also writes
+//	                      BENCH_debug.json; -smoke for a tiny CI run)
 //	ppdbench all          everything
 package main
 
@@ -86,6 +90,7 @@ func main() {
 	run("dispatch", dispatch)
 	run("serve", serveBench)
 	run("stream", streamBench)
+	run("debug", debugBench)
 }
 
 // timeRun executes the program under the given mode and returns the best-

@@ -141,6 +141,13 @@ type Func struct {
 	// ArraySlots maps local slots to array lengths for frame setup.
 	ArraySlots map[int]int
 
+	// PrelogAt maps an e-block ID to the PC of its OpPrelog in Code,
+	// precomputed at compile time (and persisted by the artifact codec) so
+	// emulation finds an interval's start PC with a map hit instead of a
+	// code scan — inlined callees put prelogs at arbitrary PCs. nil when
+	// the function carries no prelogs (bare compilation).
+	PrelogAt map[int]int
+
 	// Super is the superinstruction side table produced by Fuse: parallel
 	// to Code, Super[pc].Op != SuperNone means the fused sequence of
 	// Super[pc].W instructions starts at pc. Code itself is never
@@ -217,6 +224,43 @@ type Program struct {
 	// certificate (set by FuseCert, persisted by the artifact codec so a
 	// warm cache load reports the same fusion.windows.widened counter).
 	WidenedSuper int
+}
+
+// PrelogPCAt returns the PC of block blockID's OpPrelog in f.Code, or -1
+// when the function has no prelog for that block. Compiled programs carry
+// the precomputed index; hand-built Funcs (tests) fall back to a scan.
+func (f *Func) PrelogPCAt(blockID int) int {
+	if f.PrelogAt != nil {
+		if pc, ok := f.PrelogAt[blockID]; ok {
+			return pc
+		}
+		return -1
+	}
+	for pc, in := range f.Code {
+		if in.Op == OpPrelog && in.A == blockID {
+			return pc
+		}
+	}
+	return -1
+}
+
+// BuildPrelogIndex computes PrelogAt from Code (first OpPrelog per block
+// ID, matching the scan's first-match semantics). The compiler calls it
+// once per function at the end of code generation.
+func (f *Func) BuildPrelogIndex() {
+	var idx map[int]int
+	for pc, in := range f.Code {
+		if in.Op != OpPrelog {
+			continue
+		}
+		if idx == nil {
+			idx = make(map[int]int)
+		}
+		if _, ok := idx[in.A]; !ok {
+			idx[in.A] = pc
+		}
+	}
+	f.PrelogAt = idx
 }
 
 // FuncByName returns the compiled function, or nil.

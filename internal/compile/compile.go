@@ -531,6 +531,12 @@ func (c *compiler) run(pool *sched.Pool) error {
 			}
 		}
 	}
+
+	// Per-function prelog-PC index: emulation resolves an interval's start
+	// PC with a map hit instead of scanning the code for its OpPrelog.
+	for _, f := range c.out.Funcs {
+		f.BuildPrelogIndex()
+	}
 	return nil
 }
 

@@ -53,14 +53,28 @@ type Controller struct {
 	pgraph *parallel.Graph
 	emus   []*emulation.Emulator
 	pool   *sched.Pool
+	// epool is the replay-context pool shared by every per-process
+	// emulator (and the prefetcher behind them), bounded by the worker
+	// count so concurrent sessions cannot hoard a VM per in-flight query.
+	epool *emulation.Pool
 
 	// Observability (nil / no-op when disabled). The counters are resolved
 	// once at construction so query paths never do name lookups.
-	obs     *obs.Sink
-	cHits   *obs.Counter
-	cMisses *obs.Counter
-	cEvicts *obs.Counter
-	tEmu    *obs.Timer
+	obs       *obs.Sink
+	cHits     *obs.Counter
+	cMisses   *obs.Counter
+	cEvicts   *obs.Counter
+	cCkHits   *obs.Counter
+	cCkStores *obs.Counter
+	tEmu      *obs.Timer
+
+	// Checkpointed state restoration (ReplayTo): every ckEvery-th record
+	// boundary's fold state is snapshotted per process, bounding a later
+	// restore to folding at most ckEvery records past the nearest
+	// checkpoint instead of the whole run prefix.
+	ckEvery int
+	ckMu    sync.Mutex
+	ckpts   [][]ckpt
 
 	// mu guards cache and races. Emulation itself runs outside the lock
 	// so concurrent misses on different intervals proceed in parallel.
@@ -99,6 +113,11 @@ type Config struct {
 	// mask over-approximates dynamic conflicts); the switch exists for
 	// ablation and benchmarking.
 	NoStaticPrune bool
+	// CheckpointEvery is the record spacing K between ReplayTo state
+	// checkpoints: 0 means DefaultCheckpointEvery, < 0 disables
+	// checkpointing (every restore folds from the run's start). Smaller K
+	// trades memory (more snapshots) for a tighter O(K) restore bound.
+	CheckpointEvery int
 }
 
 // NewWithConfig builds a controller from the compiled artifacts and an
@@ -109,6 +128,10 @@ func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *
 	if bound == 0 {
 		bound = DefaultCacheBound
 	}
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = DefaultCheckpointEvery
+	}
 	c := &Controller{
 		Art:      art,
 		Log:      pl,
@@ -116,6 +139,8 @@ func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *
 		Deadlock: cfg.Deadlock,
 		noPrune:  cfg.NoStaticPrune,
 		cache:    newIntervalLRU(bound),
+		ckEvery:  ckEvery,
+		ckpts:    make([][]ckpt, len(pl.Books)),
 	}
 	switch {
 	case cfg.Workers > 0 || cfg.Obs != nil:
@@ -130,12 +155,21 @@ func NewWithConfig(art *compile.Artifacts, pl *logging.ProgramLog, cfg Config) *
 		c.cHits = cfg.Obs.Counter("debug.cache.hits")
 		c.cMisses = cfg.Obs.Counter("debug.cache.misses")
 		c.cEvicts = cfg.Obs.Counter("debug.cache.evictions")
+		c.cCkHits = cfg.Obs.Counter("debug.emu.ckpt.hits")
+		c.cCkStores = cfg.Obs.Counter("debug.emu.ckpt.stores")
 		c.tEmu = cfg.Obs.Timer("debug.emulate")
 	}
 	sc := c.obs.Scope("debug.build")
 	c.emus = sched.Map(c.pool, len(pl.Books), func(pid int) *emulation.Emulator {
 		return emulation.New(art.Prog, pl.Books[pid])
 	})
+	// One replay-context pool for every emulator, sized to the worker
+	// count: the prefetcher's concurrent emulations each get a context,
+	// but an idle controller retains at most this many pooled VMs.
+	c.epool = emulation.NewPool(art.Prog, max(2, c.pool.Workers()), cfg.Obs)
+	for _, em := range c.emus {
+		em.SetPool(c.epool)
+	}
 	c.pgraph = parallel.BuildWithPool(pl, len(art.Prog.Globals), c.pool)
 	names := make([]string, len(art.Prog.Globals))
 	for gid, def := range art.Prog.Globals {

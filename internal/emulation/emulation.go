@@ -50,11 +50,22 @@ type Result struct {
 
 // Emulator re-executes e-block instances of one process. Prog and Book are
 // read-only during emulation, so one Emulator may run any number of
-// Emulate/EmulateFresh calls concurrently (each builds its own VM) — the
-// Controller's prefetcher relies on this.
+// Emulate/EmulateFresh calls concurrently (each checks a replay context
+// out of the pool, or builds a fresh VM) — the Controller's prefetcher
+// relies on this.
 type Emulator struct {
 	Prog *bytecode.Program
 	Book *logging.Book
+
+	// Generic forces every Emulate through a fresh VM driven by the
+	// generic instruction loop — the byte-identity oracle the pooled
+	// fast-dispatch path is pinned against in tests and benchmarks.
+	Generic bool
+
+	// pool supplies reusable replay contexts. New installs a private
+	// bounded pool; the controller replaces it with one shared across all
+	// per-process emulators (SetPool).
+	pool *Pool
 
 	// runs counts VM re-executions performed (Emulate + EmulateFresh) —
 	// the hook the Controller's cache tests and benchmarks observe to
@@ -64,7 +75,16 @@ type Emulator struct {
 
 // New returns an emulator over a process's log book.
 func New(prog *bytecode.Program, book *logging.Book) *Emulator {
-	return &Emulator{Prog: prog, Book: book}
+	return &Emulator{Prog: prog, Book: book, pool: NewPool(prog, DefaultPoolBound, nil)}
+}
+
+// SetPool installs a shared replay-context pool. The controller points
+// every process's emulator (and the prefetcher behind them) at one bounded
+// pool so concurrent sessions cannot hoard a VM per in-flight query.
+func (e *Emulator) SetPool(p *Pool) {
+	if p != nil {
+		e.pool = p
+	}
 }
 
 // Emulations returns how many VM re-executions this emulator has performed.
@@ -127,20 +147,113 @@ func (e *Emulator) FirstPrelog() int {
 }
 
 // Emulate re-executes the e-block instance whose prelog is at record index
-// prelogIdx.
+// prelogIdx. The Result (and its trace buffer) are freshly allocated and
+// owned by the caller — the controller's cache retains them indefinitely.
 func (e *Emulator) Emulate(prelogIdx int) (*Result, error) {
+	res := &Result{}
+	if err := e.EmulateInto(prelogIdx, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EmulateInto is Emulate writing into a caller-recycled Result: res.Trace
+// (if non-nil) and res.Globals are reused as scratch, so a caller that
+// consumes each result before the next call — the benchmark loop, a
+// drive-to-fault scan — replays with near-zero steady-state allocation.
+// Validation errors are returned; reproduced runtime failures land in
+// res.Err exactly as in Emulate.
+func (e *Emulator) EmulateInto(prelogIdx int, res *Result) error {
 	if prelogIdx < 0 || prelogIdx >= len(e.Book.Records) {
-		return nil, fmt.Errorf("emulation: prelog index %d out of range", prelogIdx)
+		return fmt.Errorf("emulation: prelog index %d out of range", prelogIdx)
 	}
 	pre := e.Book.Records[prelogIdx]
 	if pre.Kind != logging.RecPrelog {
-		return nil, fmt.Errorf("emulation: record %d is %s, not a prelog", prelogIdx, pre.Kind)
+		return fmt.Errorf("emulation: record %d is %s, not a prelog", prelogIdx, pre.Kind)
 	}
 	e.runs.Add(1)
+	if e.Generic {
+		return e.emulateGeneric(prelogIdx, pre, res)
+	}
 	meta := e.Prog.Blocks[pre.Block]
 	fn := e.Prog.Funcs[meta.FuncIdx]
 
-	machine := vm.New(e.Prog, vm.Options{Mode: vm.ModeEmulate})
+	ctx := e.pool.get()
+	machine := ctx.machine
+	machine.ResetEmu()
+	ctx.h = hooks{
+		em:      e,
+		machine: machine,
+		cursor:  prelogIdx + 1,
+		root:    int(pre.Block),
+	}
+	machine.SetHooks(&ctx.h)
+
+	// Build the initial frame from the prelog in the context's slot
+	// scratch. Slots the prelog does not cover must come out as zero
+	// Values — StartEmuProc's overlay clones every caller slot, zeros
+	// included, so the fresh-VM path never sees frame-setup arrays either.
+	slots := ctx.slots
+	if cap(slots) < fn.NumSlots {
+		slots = make([]vm.Value, fn.NumSlots)
+	}
+	slots = slots[:fn.NumSlots]
+	cover := ctx.cover
+	if cap(cover) < fn.NumSlots {
+		cover = make([]bool, fn.NumSlots)
+	}
+	cover = cover[:fn.NumSlots]
+	clear(cover)
+	for slot, val := range pre.Locals.All() {
+		if slot < len(slots) {
+			slots[slot] = cloneInto(slots[slot], val)
+			cover[slot] = true
+		}
+	}
+	for i := range slots {
+		if !cover[i] {
+			slots[i] = vm.Value{}
+		}
+	}
+	startPC := meta.PrelogPC + 1
+	if meta.Kind == bytecode.BlockFunc {
+		startPC = fn.PrelogPCAt(int(pre.Block)) + 1
+	}
+	tb := res.Trace
+	if tb == nil {
+		tb = &trace.Buffer{}
+	}
+	tb.Reset(0)
+	proc := machine.StartEmuProcOwned(fn, slots, startPC, tb)
+
+	// Used globals from the prelog (ResetEmu restored initial values,
+	// recycling array backing where lengths match).
+	for gid, val := range pre.Globals.All() {
+		machine.Globals[gid] = cloneInto(machine.Globals[gid], val)
+	}
+
+	runErr := machine.RunEmu(proc)
+	e.pool.note(machine.EmuDispatchStats())
+
+	res.Trace = proc.Tbuf
+	res.Globals = machine.SnapshotInto(res.Globals)
+	res.RecordsConsumed = ctx.h.cursor - prelogIdx
+	res.Completed = ctx.h.sawRootPostlog
+	res.Err = runErr
+
+	ctx.slots = slots
+	ctx.cover = cover
+	e.pool.put(ctx)
+	return nil
+}
+
+// emulateGeneric is the original Emulate body, kept as the oracle: a fresh
+// VM per call, generic single-step dispatch, no pooled state anywhere.
+func (e *Emulator) emulateGeneric(prelogIdx int, pre *logging.Record, res *Result) error {
+	meta := e.Prog.Blocks[pre.Block]
+	fn := e.Prog.Funcs[meta.FuncIdx]
+
+	machine := vm.New(e.Prog, vm.Options{Mode: vm.ModeEmulate, EmuGeneric: true})
 	h := &hooks{
 		em:      e,
 		machine: machine,
@@ -158,7 +271,7 @@ func (e *Emulator) Emulate(prelogIdx int) (*Result, error) {
 	}
 	startPC := meta.PrelogPC + 1
 	if meta.Kind == bytecode.BlockFunc {
-		startPC = prelogPCOf(fn, int(pre.Block)) + 1
+		startPC = fn.PrelogPCAt(int(pre.Block)) + 1
 	}
 	proc := machine.StartEmuProc(fn, slots, startPC)
 
@@ -168,25 +281,27 @@ func (e *Emulator) Emulate(prelogIdx int) (*Result, error) {
 	}
 
 	runErr := machine.RunEmu(proc)
-	res := &Result{
-		Trace:           proc.Tbuf,
-		Globals:         machine.Snapshot(),
-		RecordsConsumed: h.cursor - prelogIdx,
-		Completed:       h.sawRootPostlog,
-	}
-	if runErr != nil {
-		res.Err = runErr
-	}
-	return res, nil
+	res.Trace = proc.Tbuf
+	res.Globals = machine.Snapshot()
+	res.RecordsConsumed = h.cursor - prelogIdx
+	res.Completed = h.sawRootPostlog
+	res.Err = runErr
+	return nil
 }
 
-func prelogPCOf(fn *bytecode.Func, blockID int) int {
-	for pc, in := range fn.Code {
-		if in.Op == bytecode.OpPrelog && in.A == blockID {
-			return pc
-		}
+// cloneInto is val.Clone() that recycles dst's array backing when the
+// lengths line up. Log records are immutable by contract, so copying the
+// elements (never aliasing val.Arr) preserves the same isolation Clone
+// gives the fresh-VM path.
+func cloneInto(dst, val vm.Value) vm.Value {
+	if val.Arr == nil {
+		return vm.Value{Int: val.Int}
 	}
-	return -1
+	if len(dst.Arr) == len(val.Arr) {
+		copy(dst.Arr, val.Arr)
+		return vm.Value{Int: val.Int, Arr: dst.Arr}
+	}
+	return val.Clone()
 }
 
 // hooks implements vm.Hooks by replaying the log from a cursor.
@@ -436,7 +551,7 @@ func (e *Emulator) EmulateFresh(prelogIdx int) (*Result, error) {
 	}
 	startPC := meta.PrelogPC + 1
 	if meta.Kind == bytecode.BlockFunc {
-		startPC = prelogPCOf(fn, int(pre.Block)) + 1
+		startPC = fn.PrelogPCAt(int(pre.Block)) + 1
 	}
 	proc := machine.StartEmuProc(fn, slots, startPC)
 	for gid, val := range pre.Globals.All() {

@@ -41,7 +41,11 @@ const cacheMagic = 0x50504443
 // lock-guard prunes on the conflict matrix and the facts counters — so a
 // warm hit answers `vet -json` identically to a cold run; v2 entries
 // decode-fail into clean misses.
-const CodecVersion = 3
+//
+// v4: functions carry the precomputed prelog-PC index (PrelogAt), so a warm
+// cache hit starts emulation without re-scanning code for OpPrelog sites;
+// v3 entries decode-fail into clean misses.
+const CodecVersion = 4
 
 // CachedProgram is the persisted slice of a compile: everything the
 // execution phase needs (the bytecode program) plus the vet result the
@@ -210,6 +214,17 @@ func appendFunc(b []byte, f *bytecode.Func) []byte {
 	for _, k := range keys {
 		b = binary.AppendVarint(b, int64(k))
 		b = binary.AppendVarint(b, int64(f.ArraySlots[k]))
+	}
+	// PrelogAt in sorted key order, same determinism rule as ArraySlots.
+	pkeys := make([]int, 0, len(f.PrelogAt))
+	for k := range f.PrelogAt {
+		pkeys = append(pkeys, k)
+	}
+	sort.Ints(pkeys)
+	b = binary.AppendUvarint(b, uint64(len(pkeys)))
+	for _, k := range pkeys {
+		b = binary.AppendVarint(b, int64(k))
+		b = binary.AppendVarint(b, int64(f.PrelogAt[k]))
 	}
 	// Superinstruction side table, sparse: only non-None entries, keyed by
 	// pc (the table is parallel to Code and usually mostly empty).
@@ -394,6 +409,10 @@ func funcLen(f *bytecode.Func) int {
 	n += intsLen(f.ParamSlots)
 	n += uvarintLen(uint64(len(f.ArraySlots)))
 	for k, v := range f.ArraySlots {
+		n += varintLen(int64(k)) + varintLen(int64(v))
+	}
+	n += uvarintLen(uint64(len(f.PrelogAt)))
+	for k, v := range f.PrelogAt {
 		n += varintLen(int64(k)) + varintLen(int64(v))
 	}
 	nSup := 0
@@ -730,6 +749,24 @@ func (d *decoder) fn() (*bytecode.Func, error) {
 				return nil, err
 			}
 			f.ArraySlots[k] = v
+		}
+	}
+	nPre, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nPre > 0 {
+		f.PrelogAt = make(map[int]int, min(nPre, cacheReadCap))
+		for i := uint64(0); i < nPre; i++ {
+			k, err := d.int()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.int()
+			if err != nil {
+				return nil, err
+			}
+			f.PrelogAt[k] = v
 		}
 	}
 	nSup, err := d.uvarint()

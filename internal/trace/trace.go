@@ -84,6 +84,13 @@ type Buffer struct {
 // Append adds an event.
 func (b *Buffer) Append(e Event) { b.Events = append(b.Events, e) }
 
+// Reset empties the buffer for reuse (keeping its capacity) and re-tags
+// the PID — the pooled replay context recycles one buffer per emulation.
+func (b *Buffer) Reset(pid int) {
+	b.PID = pid
+	b.Events = b.Events[:0]
+}
+
 // Len returns the number of events.
 func (b *Buffer) Len() int { return len(b.Events) }
 

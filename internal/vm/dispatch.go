@@ -286,6 +286,8 @@ func buildDispatchTables() {
 	logSups[bytecode.SuperIdxLoadG] = sIdxLoadGLog
 	logSups[bytecode.SuperIdxStoreL] = sIdxStoreLLog
 	logSups[bytecode.SuperIdxStoreG] = sIdxStoreGLog
+
+	buildEmuDispatchTables()
 }
 
 // dCold hands the instruction to the generic step — the same fallback the

@@ -60,11 +60,58 @@ func (v *VM) StartEmuProc(fn *bytecode.Func, slots []Value, startPC int) *Proc {
 	return p
 }
 
+// StartEmuProcOwned is StartEmuProc for the pooled replay context: the
+// caller owns slots (already laid out with the function's arrays — no
+// clone) and supplies the trace buffer. The process and its root frame are
+// cached on the VM and recycled across ResetEmu cycles, so a pooled
+// emulation allocates nothing here.
+func (v *VM) StartEmuProcOwned(fn *bytecode.Func, slots []Value, startPC int, tb *trace.Buffer) *Proc {
+	p := v.emuProc
+	if p == nil {
+		p = &Proc{Frames: []*Frame{{Stack: make([]int64, 0, 16)}}}
+		v.emuProc = p
+	}
+	p.PID = len(v.Procs)
+	p.Frames = p.Frames[:1]
+	f := p.Frames[0]
+	f.Fn = fn
+	f.PC = startPC
+	f.Slots = slots
+	f.Stack = f.Stack[:0]
+	f.arrSnap = nil
+	p.Status = StatusReady
+	p.Err = nil
+	p.lastStmt = ast.NoStmt
+	p.Tbuf = tb
+	v.Procs = append(v.Procs, p)
+	v.ready = append(v.ready, p)
+	return p
+}
+
 // RunEmu drives the single emulation process until the hooks stop it, it
-// returns from its root frame, or it fails. The tracing predicate is
-// hoisted out of the per-instruction path: it depends only on the mode and
-// the process's buffer, neither of which changes mid-run.
+// returns from its root frame, or it fails. Traced emulation (the normal
+// case — StartEmuProc always attaches a buffer) runs through the
+// ModeEmulate dispatch table (emudispatch.go); Options.EmuGeneric forces
+// the generic loop, which is the fast path's byte-identity oracle.
 func (v *VM) RunEmu(p *Proc) error {
+	if !v.Opts.EmuGeneric && v.tracing(p) {
+		return v.runEmuTab(p)
+	}
+	return v.runEmuGeneric(p)
+}
+
+// runEmuGeneric is the original stepT-driven emulation loop, kept verbatim
+// as the oracle the table-driven path is pinned against. The tracing
+// predicate is hoisted out of the per-instruction path: it depends only on
+// the mode and the process's buffer, neither of which changes mid-run.
+func (v *VM) runEmuGeneric(p *Proc) error {
+	start := v.Steps
+	err := v.runEmuGenericLoop(p)
+	v.emuCold += v.Steps - start // every generic step is a cold dispatch
+	return err
+}
+
+func (v *VM) runEmuGenericLoop(p *Proc) error {
 	tracing := v.tracing(p)
 	for p.Status == StatusReady {
 		v.Steps++

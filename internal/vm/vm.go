@@ -114,6 +114,12 @@ type Options struct {
 	// with LogSink: the tap fires first, then the record is encoded and
 	// recycled.
 	Tap logging.Tap
+
+	// EmuGeneric forces ModeEmulate through the generic stepT loop instead
+	// of the dispatch table — the byte-identity oracle the equivalence
+	// suite (TestEmuDispatchByteIdentical, FuzzEmuEquivalence) pins the
+	// fast path against. No effect in other modes.
+	EmuGeneric bool
 }
 
 // Status is a process's scheduling state.
@@ -308,6 +314,16 @@ type VM struct {
 	// Emulation support (ModeEmulate).
 	hooks   Hooks
 	emuStop bool
+
+	// emuCold counts ModeEmulate instructions dispatched through the
+	// generic stepT oracle (dEmuCold and the EmuGeneric loop); the
+	// remainder of Steps went through the emu fast tables. Feeds the
+	// debug.emu.dispatch.* counters via EmuDispatchStats.
+	emuCold int64
+
+	// emuProc caches the single emulation process (and its root frame)
+	// across ResetEmu cycles for the pooled replay context.
+	emuProc *Proc
 }
 
 // New prepares an execution of prog.
@@ -321,12 +337,19 @@ func New(prog *bytecode.Program, opts Options) *VM {
 	v := &VM{
 		Prog:       prog,
 		Opts:       opts,
-		rng:        rand.New(rand.NewSource(opts.Seed)),
 		numGlobals: len(prog.Globals),
 	}
 	v.Globals = make([]Value, len(prog.Globals))
-	v.sems = make([]*semaphore, len(prog.Globals))
-	v.chans = make([]*channel, len(prog.Globals))
+	// ModeEmulate runs a single process with no scheduler and no real
+	// synchronization (sync ops replay from the log before touching
+	// sems/chans), so those structures are never allocated — the pooled
+	// replay context depends on emulation VMs being this lean.
+	emu := opts.Mode == ModeEmulate
+	if !emu {
+		v.rng = rand.New(rand.NewSource(opts.Seed))
+		v.sems = make([]*semaphore, len(prog.Globals))
+		v.chans = make([]*channel, len(prog.Globals))
+	}
 	for i, g := range prog.Globals {
 		switch g.Kind {
 		case bytecode.GlobalVar:
@@ -336,9 +359,13 @@ func New(prog *bytecode.Program, opts Options) *VM {
 				v.Globals[i] = Value{Int: g.Init}
 			}
 		case bytecode.GlobalSem:
-			v.sems[i] = &semaphore{count: g.Init}
+			if !emu {
+				v.sems[i] = &semaphore{count: g.Init}
+			}
 		case bytecode.GlobalChan:
-			v.chans[i] = &channel{cap: g.Len}
+			if !emu {
+				v.chans[i] = &channel{cap: g.Len}
+			}
 		}
 	}
 	if opts.Mode == ModeLog {
@@ -384,8 +411,12 @@ func (v *VM) newProc(fn *bytecode.Func, args []int64, fromGsn uint64) *Proc {
 	p := &Proc{
 		PID:    len(v.Procs),
 		Status: StatusReady,
-		reads:  bitset.New(v.numGlobals),
-		writes: bitset.New(v.numGlobals),
+	}
+	if v.Opts.Mode != ModeEmulate {
+		// The internal-edge access sets only exist for markRead/markWrite
+		// and fillEdgeSets, all ModeLog-gated.
+		p.reads = bitset.New(v.numGlobals)
+		p.writes = bitset.New(v.numGlobals)
 	}
 	p.Frames = []*Frame{v.newFrame(p, fn, args)}
 	v.Procs = append(v.Procs, p)
@@ -670,4 +701,69 @@ func (v *VM) Snapshot() []Value {
 		out[i] = g.Clone()
 	}
 	return out
+}
+
+// SnapshotInto is Snapshot cloning into dst's backing: array values reuse
+// dst's arrays when the lengths match, so a recycled result re-snapshots
+// without allocating.
+func (v *VM) SnapshotInto(dst []Value) []Value {
+	if cap(dst) < len(v.Globals) {
+		dst = make([]Value, len(v.Globals))
+	}
+	dst = dst[:len(v.Globals)]
+	for i, g := range v.Globals {
+		if g.Arr != nil {
+			if d := dst[i].Arr; len(d) == len(g.Arr) {
+				copy(d, g.Arr)
+				dst[i] = Value{Int: g.Int, Arr: d}
+				continue
+			}
+			dst[i] = g.Clone()
+			continue
+		}
+		dst[i] = g
+	}
+	return dst
+}
+
+// ResetEmu returns a ModeEmulate VM to its freshly-constructed state so the
+// pooled replay context (package emulation) can reuse it: globals back to
+// their initial values (array backings reused), process table emptied, all
+// run outcome fields cleared. Only valid for VMs built with ModeEmulate.
+func (v *VM) ResetEmu() {
+	for i, g := range v.Prog.Globals {
+		if g.Kind == bytecode.GlobalVar && g.IsArray {
+			if a := v.Globals[i].Arr; len(a) == g.Len {
+				clear(a)
+				v.Globals[i] = Value{Arr: a}
+			} else {
+				v.Globals[i] = Value{Arr: make([]int64, g.Len)}
+			}
+			continue
+		}
+		if g.Kind == bytecode.GlobalVar && g.HasInit {
+			v.Globals[i] = Value{Int: g.Init}
+			continue
+		}
+		v.Globals[i] = Value{}
+	}
+	v.Procs = v.Procs[:0]
+	v.ready = v.ready[:0]
+	v.gsn = 0
+	v.Steps = 0
+	v.emuCold = 0
+	v.CtxSwitches = 0
+	v.lastSched = nil
+	v.Failure = nil
+	v.Deadlock = false
+	v.BreakHit = false
+	v.emuStop = false
+	v.hooks = nil
+}
+
+// EmuDispatchStats reports how a ModeEmulate run's instructions were
+// dispatched: through the emu fast tables vs through the generic stepT
+// oracle (hook-delegated instructions, or the whole run under EmuGeneric).
+func (v *VM) EmuDispatchStats() (fast, cold int64) {
+	return v.Steps - v.emuCold, v.emuCold
 }

@@ -82,6 +82,9 @@ type (
 	Emulator = emulation.Emulator
 	// WhatIfResult compares an interval's original and modified replays.
 	WhatIfResult = replay.WhatIfResult
+	// StateSnapshot is a restored global state as of a record boundary
+	// (Session.ReplayTo, §5.7 postlog accumulation).
+	StateSnapshot = replay.Snapshot
 	// Stats is a snapshot of PPD's observability counters and timers,
 	// renderable as text (Text) or JSON (JSON). See Execution.Stats and
 	// Program.CompileStats.
